@@ -1,0 +1,57 @@
+"""Fig. 11 — distributed-cache hits per hop (h = 3, 16 nodes).
+
+For each application on 16 single-GPU nodes with the forwarding bound
+h = 3: the percentage of distributed-cache requests that hit at hop 1,
+2, 3, or miss entirely.
+
+Paper shapes: the vast majority of requests either hit at the first
+candidate (75-88%) or miss (11-19%); hops 2 and 3 contribute little —
+which is why the remaining experiments run with h = 1.
+"""
+
+import pytest
+
+from repro.util.tables import format_table
+
+from _common import SCALED_APPS, print_block, run_scaled
+
+
+@pytest.mark.parametrize("name", ["forensics", "bioinformatics"])
+def test_fig11_hits_per_hop(once, name):
+    app = SCALED_APPS[name]
+    report = once(lambda: run_scaled(app, n_nodes=16, max_hops=3))
+    pct = report.hop_stats.percentages()
+    table = format_table(
+        ["outcome", "percent of requests"],
+        [[k, f"{v:.1f}%"] for k, v in pct.items()],
+        title=f"Fig. 11 — {name}, 16 nodes, h=3 ({report.hop_stats.requests} requests)",
+    )
+    print_block(f"Fig. 11 — {name}", table)
+
+    assert report.hop_stats.requests > 0
+    # Hop 1 dominates the later hops combined.
+    assert pct["hit at hop 1"] > pct["hit at hop 2"] + pct["hit at hop 3"]
+    # Hop 1 + misses account for most of the outcomes (paper: ~90%+).
+    assert pct["hit at hop 1"] + pct["miss"] > 70.0
+
+
+def test_fig11_h1_vs_h3_hit_ratio(once):
+    """The follow-up claim: h = 1 already captures most of the benefit."""
+    app = SCALED_APPS["forensics"]
+
+    def both():
+        r1 = run_scaled(app, n_nodes=16, max_hops=1)
+        r3 = run_scaled(app, n_nodes=16, max_hops=3)
+        return r1, r3
+
+    r1, r3 = once(both)
+    ratio_h1 = r1.hop_stats.total_hits / max(r1.hop_stats.requests, 1)
+    ratio_h3 = r3.hop_stats.total_hits / max(r3.hop_stats.requests, 1)
+    print_block(
+        "Fig. 11 follow-up — h=1 vs h=3",
+        f"hit ratio h=1: {ratio_h1:.1%}   hit ratio h=3: {ratio_h3:.1%}\n"
+        f"run time h=1: {r1.runtime:.2f}s   h=3: {r3.runtime:.2f}s",
+    )
+    # h=3 helps at most marginally.
+    assert ratio_h3 <= ratio_h1 + 0.25
+    assert r1.runtime == pytest.approx(r3.runtime, rel=0.2)

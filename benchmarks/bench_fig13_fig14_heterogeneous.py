@@ -1,0 +1,119 @@
+"""Fig. 13 (heterogeneous throughput) and Fig. 14 (per-GPU timeline).
+
+The Section 6.5 platform: node I (K20m), node II (GTX980 + TitanX
+Pascal), node III (2x RTX 2080 Ti), node IV (GTX Titan + TitanX
+Pascal) — 7 GPUs spanning 4 generations.
+
+Fig. 13 shapes: each node's standalone throughput reflects its GPUs
+(node III fastest, node I slowest); the combined 4-node run reaches at
+least the sum of the individual nodes (and can exceed it thanks to the
+distributed cache).
+
+Fig. 14 shapes (microscopy, combined run): all GPUs stay busy to the
+end (balanced finish times), and faster GPUs sustain proportionally
+higher pair rates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import ClusterSpec
+from repro.sim.rocketsim import RocketSimConfig, run_simulation
+from repro.util.tables import format_table
+
+from _common import SCALED_APPS, print_block, scale_cluster
+
+
+def _node_specs(scale):
+    full = scale_cluster(ClusterSpec.das5_heterogeneous(), scale)
+    singles = [
+        scale_cluster(ClusterSpec(nodes=(ns,)), scale) for ns in ClusterSpec.das5_heterogeneous().nodes
+    ]
+    return full, singles
+
+
+@pytest.mark.parametrize("name", ["forensics", "microscopy"])
+def test_fig13_heterogeneous_throughput(once, name):
+    app = SCALED_APPS[name]
+    full, singles = _node_specs(app.scale)
+
+    def run_all():
+        # Compute-bound microscopy: cap in-flight jobs so a slow GPU
+        # cannot hoard ~1-2 s comparisons into an end-of-run tail — at
+        # full scale that tail is negligible (the paper's Fig. 14 run
+        # takes ~25 min), at n=48 it would dominate.
+        jobs = 4 if name == "microscopy" else 64
+        cfg = RocketSimConfig(
+            seed=2,
+            device_cache_slots=app.device_slots,
+            host_cache_slots=app.host_slots,
+            concurrent_jobs=jobs,
+        )
+        individual = [run_simulation(spec, app.profile, cfg, seed=2) for spec in singles]
+        combined = run_simulation(full, app.profile, cfg, seed=2)
+        return individual, combined
+
+    individual, combined = once(run_all)
+    rows = []
+    for spec, rep in zip(singles, individual):
+        rows.append([spec.nodes[0].name, "+".join(spec.nodes[0].gpus), f"{rep.throughput:.1f}"])
+    total = sum(r.throughput for r in individual)
+    rows.append(["sum of nodes", "", f"{total:.1f}"])
+    rows.append(["all 4 nodes", "7 GPUs", f"{combined.throughput:.1f}"])
+    table = format_table(
+        ["node", "GPUs", "pairs/s"], rows, title=f"Fig. 13 — {name} heterogeneous throughput"
+    )
+    print_block(f"Fig. 13 — {name}", table)
+
+    thr = [r.throughput for r in individual]
+    # Node III (2x RTX 2080 Ti) is the fastest, node I (K20m) the slowest.
+    assert thr[2] == max(thr)
+    assert thr[0] == min(thr)
+    # The combined run achieves at least ~the sum of the parts (the
+    # paper often sees slightly more, thanks to the distributed cache).
+    assert combined.throughput > 0.85 * total
+
+
+def test_fig14_throughput_over_time(once):
+    app = SCALED_APPS["microscopy"]
+    full, _ = _node_specs(app.scale)
+
+    def run():
+        cfg = RocketSimConfig(
+            seed=3,
+            device_cache_slots=app.device_slots,
+            host_cache_slots=app.host_slots,
+            record_throughput=True,
+            throughput_window=60.0,
+            concurrent_jobs=4,  # see test_fig13: bounds the drain tail
+        )
+        return run_simulation(full, app.profile, cfg, seed=3)
+
+    report = once(run)
+    rows = []
+    rates = {}
+    finish = {}
+    for lane, series in report.throughput_series.items():
+        rates[lane] = series.overall_rate()
+        finish[lane] = series.times[-1] if series.times else 0.0
+        rows.append([lane, series.count, f"{rates[lane]:.3f}", f"{finish[lane]:.1f}"])
+    table = format_table(
+        ["GPU", "pairs", "avg pairs/s", "last completion (s)"],
+        rows,
+        title="Fig. 14 — per-GPU processing over the combined microscopy run",
+    )
+    print_block("Fig. 14", table)
+
+    def lane_of(model):
+        return next(lane for lane in rates if model in lane)
+
+    # Faster GPUs sustain higher rates.
+    assert rates[lane_of("RTX2080Ti")] > rates[lane_of("K20m")]
+    # All GPUs finish at roughly the same time (balanced workload): the
+    # paper's "all nodes finish at roughly the same time".
+    finishes = np.array(list(finish.values()))
+    assert finishes.min() > 0.85 * finishes.max()
+    # Rolling series exists and peaks above zero for every GPU.
+    for series in report.throughput_series.values():
+        _, rate = series.series(step=report.runtime / 50, end=report.runtime)
+        assert rate.max() > 0

@@ -1,0 +1,90 @@
+"""Fig. 15 — large-scale run on Cartesius (up to 48 nodes / 96 K40m GPUs).
+
+The paper runs the bioinformatics application on all 6818 UniProt
+reference bacteria proteomes, scaling from 1 node (2 GPUs) to 48 nodes
+(96 GPUs).  Shapes to reproduce:
+
+- run time falls from hours to minutes (here: scaled units);
+- speedup stays (super-)linear to 96 GPUs thanks to the distributed
+  cache;
+- R falls dramatically with node count (paper: 31.9 -> 2.7, a 11.8x
+  reduction);
+- system efficiency stays high throughout.
+
+Scale: n = 250 of 6818 proteomes (s = 0.037); the Cartesius host cache
+(80 GB -> 561 slots at full scale) scales to 20 slots per node, i.e.
+the same 8.2% per-node coverage as the paper.  The forwarding bound is
+h = 3 here (the paper ran h = 1): at reduced scale host caches churn
+through their working set ~1/s times faster relative to the re-request
+interval, so the single most-recent candidate is stale far more often
+than at paper scale; allowing three candidates restores the effective
+remote-hit ratio the paper's h = 1 achieves (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.sim.cluster import ClusterSpec
+from repro.sim.rocketsim import RocketSimConfig, run_simulation
+from repro.sim.workload import BIOINFORMATICS, scaled_profile
+from repro.util.tables import format_table
+
+from _common import print_block, scale_cluster
+
+N_ITEMS = 250
+FULL_N = 6818
+NODE_COUNTS = (1, 4, 12, 24, 48)
+
+
+def test_fig15_cartesius_scaling(once):
+    s = N_ITEMS / FULL_N
+    # The paper's full-scale run uses all 6818 proteomes with the same
+    # per-item costs as Table 1's 2500-proteome profile.
+    from dataclasses import replace
+
+    base = replace(BIOINFORMATICS, n_items=FULL_N)
+    profile = scaled_profile(base, N_ITEMS)
+    host_slots = max(3, round(80e9 / base.slot_size * s))  # 80 GB host cache
+    dev_slots = 8  # floored (see _common.ScaledApp) from 75 * s
+
+    def sweep():
+        out = []
+        for n_nodes in NODE_COUNTS:
+            spec = scale_cluster(ClusterSpec.cartesius(n_nodes), s)
+            cfg = RocketSimConfig(
+                seed=4, device_cache_slots=dev_slots, host_cache_slots=host_slots, max_hops=3
+            )
+            out.append(run_simulation(spec, profile, cfg, seed=4))
+        return out
+
+    reports = once(sweep)
+    t1 = reports[0].runtime
+    rows = []
+    for n_nodes, rep in zip(NODE_COUNTS, reports):
+        rows.append(
+            [
+                n_nodes,
+                2 * n_nodes,
+                f"{rep.runtime:.1f}",
+                f"{t1 / rep.runtime:.2f}x",
+                f"{rep.reuse_factor:.2f}",
+                f"{rep.efficiency:.0%}",
+            ]
+        )
+    table = format_table(
+        ["nodes", "GPUs", "run time (s)", "speedup", "R", "efficiency"],
+        rows,
+        title="Fig. 15 — bioinformatics on Cartesius (2x K40m per node)",
+    )
+    print_block("Fig. 15", table)
+
+    first, last = reports[0], reports[-1]
+    # R must fall dramatically (paper: 11.8x from 1 to 48 nodes).
+    assert first.reuse_factor / last.reuse_factor > 4.0
+    # Speedup at 48 nodes is (super-)linear, as in the paper: the
+    # single-node run is throttled by its high R, the 48-node run is not.
+    assert t1 / last.runtime > 0.9 * 48
+    # Run time drops by more than an order of magnitude.
+    assert last.runtime < t1 / 30
+    # Efficiency stays high throughout and *rises* with scale.
+    assert all(rep.efficiency > 0.6 for rep in reports)
+    assert last.efficiency > first.efficiency

@@ -1,0 +1,97 @@
+"""Fig. 6 (trace timeline) and Fig. 7 (comparison-kernel histograms).
+
+Fig. 6: a profiled simulated run of the forensics workload, rendered as
+an ASCII timeline — one row per resource thread, showing the GPU lane
+saturated while CPU/IO/copy lanes work in the background.
+
+Fig. 7: run-time histograms of the comparison kernel for all three
+applications, from both (a) the simulated workload distributions
+(Table 1 moments: tight normal for forensics, lognormal for the other
+two) and (b) the real NumPy registration kernel for microscopy.  The
+shape check is the coefficient of variation: forensics regular,
+bioinformatics and microscopy irregular.
+"""
+
+import numpy as np
+
+from repro.util.histogram import Histogram, ascii_histogram
+from repro.util.trace import ascii_timeline, lane_summary
+
+from _common import SCALED_APPS, print_block, run_scaled
+
+
+def test_fig6_trace_timeline(once):
+    app = SCALED_APPS["forensics"]
+    report = once(lambda: run_scaled(app, n_nodes=1, profiling=True))
+    trace = report.trace
+    assert trace is not None
+    # Render a slice of the run (the middle, away from warm-up/drain).
+    t1 = trace.makespan()
+    text = ascii_timeline(trace, width=100, t0=t1 * 0.4, t1=t1 * 0.5)
+    print_block("Fig. 6 — per-thread task timeline (middle 10% of the run)", text)
+
+    summary = lane_summary(trace)
+    gpu_lanes = [lane for lane in summary if lane.startswith("GPU")]
+    assert gpu_lanes, "no GPU lanes traced"
+    # The paper's observation: the GPU stays (near) fully utilised.
+    gpu_util = max(summary[lane]["utilization"] for lane in gpu_lanes)
+    print(f"GPU utilisation: {gpu_util:.1%}")
+    assert gpu_util > 0.8
+
+
+def test_fig7_kernel_time_histograms(once):
+    def sample():
+        out = {}
+        for name, app in SCALED_APPS.items():
+            inst = app.profile.instantiate(seed=3)
+            out[name] = np.array([inst.compare_time() for _ in range(4000)])
+        return out
+
+    samples = once(sample)
+    body = []
+    cvs = {}
+    for name, xs in samples.items():
+        hist = Histogram.from_samples(xs * 1e3, bins=24)
+        cvs[name] = hist.coefficient_of_variation()
+        body.append(f"--- {name} (ms, CV={cvs[name]:.3f}) ---")
+        body.append(ascii_histogram(hist, width=40))
+    print_block("Fig. 7 — comparison-kernel run-time histograms", "\n".join(body))
+
+    # Shape: forensics is regular, the other two have heavy tails.
+    assert cvs["forensics"] < 0.05
+    assert cvs["bioinformatics"] > 0.25
+    assert cvs["microscopy"] > 0.4
+    # Tail check: for the irregular kernels p99 >> median.
+    for name in ("bioinformatics", "microscopy"):
+        xs = samples[name]
+        assert np.percentile(xs, 99) > 2.0 * np.median(xs)
+
+
+def test_fig7_real_microscopy_kernel_irregularity(once):
+    """The *real* registration kernel shows irregular run times too."""
+    import time
+
+    from repro.apps.microscopy.registration import register_pair
+    from repro.data.filestore import InMemoryStore
+    from repro.data.formats import decode_particle
+    from repro.data.synthetic import make_microscopy_dataset
+
+    def measure():
+        store = InMemoryStore()
+        ds = make_microscopy_dataset(store, n_particles=8, template_points=28, seed=13)
+        clouds = [decode_particle(store.read(f"{k}.json"))[0] for k in ds.keys]
+        times = []
+        for i in range(len(clouds)):
+            for j in range(i + 1, len(clouds)):
+                t0 = time.perf_counter()
+                register_pair(clouds[i], clouds[j], restarts=2, seed=i * 31 + j)
+                times.append(time.perf_counter() - t0)
+        return np.array(times)
+
+    times = once(measure)
+    cv = times.std() / times.mean()
+    print_block(
+        "Fig. 7 (real kernel) — microscopy registration wall times",
+        f"n={len(times)} mean={1e3 * times.mean():.1f} ms  std={1e3 * times.std():.1f} ms  CV={cv:.2f}",
+    )
+    assert cv > 0.1  # data-dependent, not constant-time

@@ -1,0 +1,50 @@
+"""Fig. 8 — per-thread processing time vs overall run time, one node.
+
+For each application on one TitanX Maxwell node: the total busy time of
+every resource thread (GPU split into preprocess/compare, CPU pool,
+H2D, D2H, I/O) against the overall run time and the modeled lower bound
+T_min.
+
+Paper shapes to reproduce: the GPU bar dominates and nearly equals the
+run time (asynchronous processing overlaps everything else); system
+efficiencies are high (paper: 94.6% / 88.5% / 99.2%).
+"""
+
+import pytest
+
+from repro.util.tables import format_table
+
+from _common import SCALED_APPS, print_block, run_scaled
+
+
+@pytest.mark.parametrize("name", ["forensics", "bioinformatics", "microscopy"])
+def test_fig8_thread_times(once, name):
+    app = SCALED_APPS[name]
+    report = once(lambda: run_scaled(app, n_nodes=1))
+
+    lane = next(iter(report.gpu_busy))
+    gpu = report.gpu_busy[lane]
+    rows = [
+        ["GPU (preprocess)", gpu["preprocess"]],
+        ["GPU (compare)", gpu["compare"]],
+        ["CPU", sum(report.cpu_busy.values())],
+        ["CPU->GPU", sum(report.h2d_busy.values())],
+        ["GPU->CPU", sum(report.d2h_busy.values())],
+        ["IO", sum(report.io_busy.values())],
+        ["overall run time", report.runtime],
+        ["T_min (model)", report.t_min_cluster],
+    ]
+    table = format_table(["thread", "busy seconds"], rows, title=f"Fig. 8 — {name} (1x TitanX Maxwell)")
+    print_block(
+        f"Fig. 8 — {name}",
+        table + f"\n\nsystem efficiency = {report.efficiency:.1%}   R = {report.reuse_factor:.2f}",
+    )
+
+    gpu_total = gpu["preprocess"] + gpu["compare"]
+    # Paper shape 1: the run time ~ GPU busy time (excellent overlap).
+    assert report.runtime == pytest.approx(gpu_total, rel=0.25)
+    # Paper shape 2: GPU-bound — every other lane is smaller than the GPU bar.
+    assert sum(report.h2d_busy.values()) < gpu_total
+    assert sum(report.io_busy.values()) < report.runtime
+    # Paper shape 3: high single-node efficiency (paper: 88.5-99.2%).
+    assert report.efficiency > 0.75

@@ -1,0 +1,25 @@
+"""Pytest configuration for the benchmark harness.
+
+Experiments are expensive (seconds each), so every benchmark runs with
+``rounds=1, iterations=1`` via the ``once`` helper — pytest-benchmark
+still records the wall time, but the experiment is executed exactly
+once and its printed table is the artefact of interest.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the sibling `_common` module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

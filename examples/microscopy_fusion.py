@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""All-to-all particle registration (the paper's microscopy app).
+
+Generates localization-microscopy particles — noisy, under-labelled,
+randomly transformed observations of one template structure — runs the
+all-pairs registration through Rocket, and uses the scores to verify
+that every particle registers well against every other (the premise of
+the template-free fusion method of Heydarian et al.).
+
+Run:  python examples/microscopy_fusion.py
+"""
+
+import numpy as np
+
+from repro import Rocket, RocketConfig
+from repro.apps import MicroscopyApplication
+from repro.apps.microscopy import bhattacharyya_similarity
+from repro.data import InMemoryStore, make_microscopy_dataset
+from repro.util.rng import seeded_rng
+
+
+def main() -> None:
+    store = InMemoryStore()
+    dataset = make_microscopy_dataset(
+        store,
+        n_particles=10,
+        template_kind="ring",
+        template_points=40,
+        jitter=0.02,
+        keep_fraction=0.85,
+        outlier_fraction=0.05,
+        seed=7,
+    )
+    print(
+        f"generated {len(dataset.keys)} particles from one template "
+        f"({store.total_bytes() / 1e3:.1f} KB of JSON localisations)"
+    )
+
+    rocket = Rocket(
+        MicroscopyApplication(sigma=0.06, restarts=3),
+        store,
+        RocketConfig(n_devices=2, device_cache_slots=10, host_cache_slots=10, seed=5),
+    )
+    results = rocket.run(dataset.keys)
+    print(f"\n{rocket.last_stats.summary()}")
+
+    scores = np.array([v for _, _, v in results.items()])
+    print(f"\nregistration scores: median {np.median(scores):.4f}, "
+          f"min {scores.min():.4f}, max {scores.max():.4f}")
+
+    # Baseline: what do two *unrelated* random clouds score?
+    rng = seeded_rng(0)
+    baseline = bhattacharyya_similarity(
+        rng.uniform(-1, 1, (34, 2)), rng.uniform(-1, 1, (34, 2)), sigma=0.06
+    )
+    print(f"unrelated-cloud baseline score:   {baseline:.4f}")
+
+    good = (scores > baseline).mean()
+    print(f"\n{good:.0%} of particle pairs register above the unrelated baseline")
+    assert np.median(scores) > baseline
+    print("OK: the all-to-all registration confirms a common underlying structure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin shim so `pip install -e .` works without the `wheel` package.
+
+The offline environment lacks `wheel`, which modern PEP-517 editable
+installs require; the legacy `setup.py develop` path does not.  All
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Rocket — efficient and scalable all-pairs computations (SC 2020), in Python.
+
+A from-scratch reproduction of *"Rocket: Efficient and Scalable
+All-Pairs Computations on Heterogeneous Platforms"* (Heldens et al.,
+SC 2020).  The package provides:
+
+- :mod:`repro.core` — the user-facing all-pairs programming interface
+  (parse / preprocess / compare / postprocess) and the :class:`Rocket`
+  entry point;
+- :mod:`repro.cache` — the three-level software cache policy logic;
+- :mod:`repro.scheduling` — divide-and-conquer decomposition and
+  hierarchical random work-stealing;
+- :mod:`repro.runtime` — the threaded single-node runtime executing
+  real NumPy pipelines on virtual devices;
+- :mod:`repro.sim` — a discrete-event simulation of heterogeneous GPU
+  clusters running the full Rocket runtime on simulated time (the
+  substrate for the paper's multi-node evaluation);
+- :mod:`repro.model` — the analytical performance model (T_min, R,
+  system efficiency);
+- :mod:`repro.apps` — the paper's three applications (forensics,
+  bioinformatics, microscopy), kernels implemented from scratch;
+- :mod:`repro.data` — synthetic data sets with ground truth and the
+  file-store abstraction.
+
+Quickstart::
+
+    from repro import Rocket, RocketConfig
+    from repro.apps import ForensicsApplication
+    from repro.data import InMemoryStore, make_forensics_dataset
+
+    store = InMemoryStore()
+    dataset = make_forensics_dataset(store, n_images=16, n_cameras=4, seed=7)
+    rocket = Rocket(ForensicsApplication(), store, RocketConfig(n_devices=2))
+    results = rocket.run(dataset.keys)
+    print(results.get("img0000", "img0004"))
+"""
+
+from repro.core import Application, Rocket, RocketConfig, ResultMatrix, HostBuffer, DeviceBuffer
+from repro.runtime import LocalRocketRuntime, RunStats, VirtualDevice
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "Rocket",
+    "RocketConfig",
+    "ResultMatrix",
+    "HostBuffer",
+    "DeviceBuffer",
+    "LocalRocketRuntime",
+    "RunStats",
+    "VirtualDevice",
+    "__version__",
+]

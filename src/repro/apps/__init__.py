@@ -1,0 +1,25 @@
+"""The paper's three real-world applications (Section 5), from scratch.
+
+- :mod:`repro.apps.forensics` — common-source identification via PRNU
+  sensor-noise patterns and normalized cross-correlation;
+- :mod:`repro.apps.bioinformatics` — alignment-free phylogeny via
+  k-string composition vectors (Qi et al.) plus neighbour-joining tree
+  construction;
+- :mod:`repro.apps.microscopy` — localization-microscopy particle
+  registration via Gaussian-mixture similarity scores and an iterative
+  optimizer.
+
+Each package provides the numeric kernels (the parts the paper runs as
+CUDA kernels) and an :class:`~repro.core.api.Application` wiring them
+into Rocket's parse / preprocess / compare / postprocess pipeline.
+"""
+
+from repro.apps.forensics import ForensicsApplication
+from repro.apps.bioinformatics import BioinformaticsApplication
+from repro.apps.microscopy import MicroscopyApplication
+
+__all__ = [
+    "ForensicsApplication",
+    "BioinformaticsApplication",
+    "MicroscopyApplication",
+]

@@ -1,0 +1,23 @@
+"""Alignment-free phylogeny (bioinformatics, paper Section 5.2)."""
+
+from repro.apps.bioinformatics.composition import (
+    encode_sequence,
+    kmer_counts,
+    composition_vector,
+    cv_correlation,
+    cv_distance,
+)
+from repro.apps.bioinformatics.app import BioinformaticsApplication
+from repro.apps.bioinformatics.phylogeny import neighbor_joining, clade_sets, robinson_foulds
+
+__all__ = [
+    "encode_sequence",
+    "kmer_counts",
+    "composition_vector",
+    "cv_correlation",
+    "cv_distance",
+    "BioinformaticsApplication",
+    "neighbor_joining",
+    "clade_sets",
+    "robinson_foulds",
+]

@@ -1,0 +1,64 @@
+"""Rocket application wrapper for composition-vector phylogeny.
+
+Pipeline mapping (paper Section 5.2):
+
+- *parse* (CPU): decompress the FASTA file and integer-encode the
+  proteome (the paper decompresses on the CPU);
+- *preprocess* (GPU): build the sparse composition vector — expensive,
+  "it requires scanning the entire genome";
+- *compare* (GPU): sparse dot product between two CVs — cheap but
+  irregular, since the vectors are sparse;
+- *postprocess* (CPU): plain scalar extraction.
+
+The resulting distance matrix feeds
+:func:`repro.apps.bioinformatics.phylogeny.neighbor_joining` to build
+the tree, completing the paper's end-to-end use case ("reconstruct the
+evolutionary tree of all reference bacteria proteomes").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.bioinformatics.composition import (
+    composition_vector,
+    cv_distance,
+    encode_proteome,
+    pack_cv,
+    unpack_cv,
+)
+from repro.core.api import Application
+from repro.data.formats import decode_fasta
+
+__all__ = ["BioinformaticsApplication"]
+
+
+class BioinformaticsApplication(Application[str, float]):
+    """Pair-wise composition-vector distances over a proteome corpus."""
+
+    def __init__(self, k: int = 4) -> None:
+        if k < 3:
+            raise ValueError(f"composition vectors need k >= 3, got {k}")
+        self.k = k
+
+    def file_name(self, key: str) -> str:
+        """Proteomes are stored as compressed FASTA ``<key>.faz``."""
+        return f"{key}.faz"
+
+    def parse(self, key: str, file_contents: bytes) -> np.ndarray:
+        """Decompress FASTA and integer-encode all proteins."""
+        records = decode_fasta(file_contents, compressed=True)
+        return encode_proteome(list(records.values()))
+
+    def preprocess(self, key: str, parsed: np.ndarray) -> np.ndarray:
+        """Build the sparse composition vector (packed as one array)."""
+        indices, values = composition_vector(parsed.astype(np.int16), k=self.k)
+        return pack_cv(indices, values)
+
+    def compare(self, key_a: str, item_a: np.ndarray, key_b: str, item_b: np.ndarray) -> np.ndarray:
+        """Distance ``(1 - C) / 2`` between two composition vectors."""
+        return np.asarray(cv_distance(unpack_cv(item_a), unpack_cv(item_b)))
+
+    def postprocess(self, key_a: str, key_b: str, raw_result: np.ndarray) -> float:
+        """Return the distance as a plain float."""
+        return float(raw_result)

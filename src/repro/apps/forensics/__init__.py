@@ -1,0 +1,6 @@
+"""Common-source identification (digital forensics, paper Section 5.1)."""
+
+from repro.apps.forensics.prnu import extract_prnu, ncc, denoise
+from repro.apps.forensics.app import ForensicsApplication
+
+__all__ = ["extract_prnu", "ncc", "denoise", "ForensicsApplication"]

@@ -1,0 +1,54 @@
+"""Rocket application wrapper for common-source identification.
+
+Pipeline mapping (paper Section 5.1):
+
+- *parse* (CPU): decode the image container — the production system
+  decodes JPEG with libjpeg; we decode the ``RIMG`` codec;
+- *preprocess* (GPU): extract the PRNU noise residual;
+- *compare* (GPU): normalized cross-correlation of two residuals;
+- *postprocess* (CPU): scalar extraction (thresholding is left to the
+  caller, as the production tool reports raw scores too).
+
+Computations are highly regular: all images share dimensions, so every
+comparison costs the same — the tight Fig. 7 histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.forensics.prnu import extract_prnu, ncc
+from repro.core.api import Application
+from repro.data.formats import decode_image
+
+__all__ = ["ForensicsApplication"]
+
+
+class ForensicsApplication(Application[str, float]):
+    """Pair-wise PRNU correlation over an image corpus."""
+
+    def __init__(self, denoise_window: int = 5) -> None:
+        if denoise_window < 1 or denoise_window % 2 == 0:
+            raise ValueError(f"denoise_window must be odd, got {denoise_window}")
+        self.denoise_window = denoise_window
+
+    def file_name(self, key: str) -> str:
+        """Image files are stored as ``<key>.rimg``."""
+        return f"{key}.rimg"
+
+    def parse(self, key: str, file_contents: bytes) -> np.ndarray:
+        """Decode the RIMG container to a float image in [0, 1]."""
+        pixels = decode_image(file_contents)
+        return pixels.astype(np.float64) / 255.0
+
+    def preprocess(self, key: str, parsed: np.ndarray) -> np.ndarray:
+        """Extract the PRNU residual (the cached, comparable item)."""
+        return extract_prnu(parsed, window=self.denoise_window)
+
+    def compare(self, key_a: str, item_a: np.ndarray, key_b: str, item_b: np.ndarray) -> np.ndarray:
+        """Normalized cross-correlation between two residuals."""
+        return np.asarray(ncc(item_a, item_b))
+
+    def postprocess(self, key_a: str, key_b: str, raw_result: np.ndarray) -> float:
+        """Return the correlation score as a plain float."""
+        return float(raw_result)

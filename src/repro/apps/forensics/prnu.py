@@ -1,0 +1,79 @@
+"""PRNU sensor-noise kernels (the application's "GPU" kernels).
+
+Photo Response Non-Uniformity is a fixed multiplicative noise pattern
+of an imaging sensor: pixel ``p`` records ``s * (1 + K_p)`` for scene
+intensity ``s``.  Two images from the same camera share ``K``, so the
+*noise residuals* of same-camera images correlate while those of
+different cameras do not (Fridrich 2013; van Werkhoven et al. 2018).
+
+The pipeline mirrors the paper's application:
+
+- :func:`denoise` — a separable local-mean filter (the stand-in for the
+  production wavelet denoiser);
+- :func:`extract_prnu` — residual = image - denoise(image), zero-meaned
+  per row and column to suppress demosaicing artefacts, then unit-
+  normalised;
+- :func:`ncc` — normalized cross-correlation between two residuals, the
+  similarity metric named in the paper.
+
+All functions are pure NumPy and operate on float64 arrays in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+__all__ = ["denoise", "extract_prnu", "ncc"]
+
+
+def denoise(image: np.ndarray, window: int = 5) -> np.ndarray:
+    """Estimate scene content with a local-mean filter.
+
+    The residual ``image - denoise(image)`` keeps the high-frequency
+    content where the PRNU signal lives.
+    """
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    if window < 1 or window % 2 == 0:
+        raise ValueError(f"window must be odd and positive, got {window}")
+    return uniform_filter(image.astype(np.float64, copy=False), size=window, mode="reflect")
+
+
+def extract_prnu(image: np.ndarray, window: int = 5) -> np.ndarray:
+    """Extract the normalised PRNU noise residual of ``image``.
+
+    Steps: denoise-residual, zero-mean rows and columns (linear-pattern
+    removal, standard in PRNU pipelines), global unit normalisation.
+    Returns an array of the same shape with zero mean and unit L2 norm.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    residual = img - denoise(img, window=window)
+    # Remove row/column means: suppresses sensor linear patterns and any
+    # remaining scene gradients.
+    residual = residual - residual.mean(axis=1, keepdims=True)
+    residual = residual - residual.mean(axis=0, keepdims=True)
+    norm = np.linalg.norm(residual)
+    if norm == 0:
+        # Perfectly flat residual (e.g. constant image): return zeros —
+        # it will correlate with nothing, which is the correct semantics.
+        return residual
+    return residual / norm
+
+
+def ncc(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalized cross-correlation of two PRNU residuals.
+
+    Inputs of identical shape; returns a value in [-1, 1].  For
+    residuals from :func:`extract_prnu` (zero-mean, unit-norm) this is a
+    plain dot product, but the general formula is kept so the kernel is
+    reusable on raw residuals.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    fa = a - a.mean()
+    fb = b - b.mean()
+    denom = np.linalg.norm(fa) * np.linalg.norm(fb)
+    if denom == 0:
+        return 0.0
+    return float(np.vdot(fa, fb) / denom)

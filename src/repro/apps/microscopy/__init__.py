@@ -1,0 +1,19 @@
+"""Localization-microscopy particle fusion (paper Section 5.3)."""
+
+from repro.apps.microscopy.registration import (
+    rigid_transform,
+    gmm_l2_similarity,
+    bhattacharyya_similarity,
+    register_pair,
+    RegistrationResult,
+)
+from repro.apps.microscopy.app import MicroscopyApplication
+
+__all__ = [
+    "rigid_transform",
+    "gmm_l2_similarity",
+    "bhattacharyya_similarity",
+    "register_pair",
+    "RegistrationResult",
+    "MicroscopyApplication",
+]

@@ -1,0 +1,38 @@
+"""Rocket's multi-level software cache (paper Section 4.1).
+
+This package contains the *policy logic* of all three cache levels as
+plain synchronous data structures, deliberately independent of any
+concurrency model:
+
+- :mod:`repro.cache.slots` — fixed-slot caches with READ/WRITE status
+  flags, reader pinning, and pluggable eviction (device level and host
+  level are both instances of :class:`SlotCache`);
+- :mod:`repro.cache.distributed` — the third-level protocol state: the
+  ``item -> node (item mod p)`` mediator mapping and the per-mediator
+  ``candidates`` bookkeeping array;
+- :mod:`repro.cache.policy` — eviction policies and the admission
+  clamp that keeps the concurrent-job limit deadlock-free with respect
+  to cache capacity.
+
+The discrete-event simulator (:mod:`repro.sim.rocketsim`) and the real
+threaded runtime (:mod:`repro.runtime`) wrap these structures with
+their own waiting/wake-up mechanics (simulation events vs. condition
+variables), so the policy behaviour tested here is exactly the
+behaviour both runtimes execute.
+"""
+
+from repro.cache.slots import Slot, SlotState, SlotCache, CacheCounters
+from repro.cache.distributed import CandidateDirectory, mediator_of, RequestOutcome
+from repro.cache.policy import EvictionPolicy, safe_job_limit
+
+__all__ = [
+    "Slot",
+    "SlotState",
+    "SlotCache",
+    "CacheCounters",
+    "CandidateDirectory",
+    "mediator_of",
+    "RequestOutcome",
+    "EvictionPolicy",
+    "safe_job_limit",
+]

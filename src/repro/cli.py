@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common entry points without writing code:
+
+- ``demo`` — run one of the three paper applications end-to-end on
+  synthetic data through the threaded runtime and print the run stats
+  (optionally saving the result matrix as JSON);
+- ``simulate`` — run a workload profile on a simulated cluster and
+  print the report (optionally dumping a Chrome trace of the run);
+- ``profiles`` — print the Table 1 workload profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.result import save_results
+from repro.sim.cluster import ClusterSpec
+from repro.sim.rocketsim import RocketSimConfig, run_simulation
+from repro.sim.workload import PROFILES, scaled_profile
+from repro.util.tables import format_table
+from repro.util.trace import to_chrome_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rocket (SC 2020) reproduction - all-pairs computations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a paper application on synthetic data")
+    demo.add_argument("app", choices=["forensics", "bioinformatics", "microscopy"])
+    demo.add_argument("--items", type=int, default=12, help="data set size")
+    demo.add_argument("--devices", type=int, default=2, help="virtual GPUs")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--save", metavar="PATH", help="write the result matrix as JSON")
+
+    sim = sub.add_parser("simulate", help="run a workload on a simulated cluster")
+    sim.add_argument("profile", choices=sorted(PROFILES))
+    sim.add_argument("--items", type=int, default=96, help="scaled item count")
+    sim.add_argument("--nodes", type=int, default=4)
+    sim.add_argument("--gpus-per-node", type=int, default=1)
+    sim.add_argument("--gpu", default="TitanX Maxwell")
+    sim.add_argument("--device-slots", type=int, default=8)
+    sim.add_argument("--host-slots", type=int, default=12)
+    sim.add_argument("--no-distributed-cache", action="store_true")
+    sim.add_argument("--hops", type=int, default=1)
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+
+    sub.add_parser("profiles", help="print the Table 1 workload profiles")
+    return parser
+
+
+def _cmd_profiles() -> int:
+    rows = []
+    for prof in PROFILES.values():
+        rows.append(
+            [
+                prof.name,
+                prof.n_items,
+                prof.n_pairs,
+                f"{prof.slot_size / 1e6:.2f} MB",
+                f"{1e3 * prof.t_parse[0]:.1f} ms",
+                f"{1e3 * prof.t_preprocess[0]:.1f} ms",
+                f"{1e3 * prof.t_compare[0]:.1f} ms",
+                prof.compare_distribution,
+            ]
+        )
+    print(
+        format_table(
+            ["profile", "items", "pairs", "slot", "parse", "preprocess", "compare", "dist"],
+            rows,
+            title="Workload profiles (paper Table 1)",
+        )
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.rocket import Rocket
+    from repro.data.filestore import InMemoryStore
+    from repro.runtime.localrocket import RocketConfig
+
+    store = InMemoryStore()
+    if args.app == "forensics":
+        from repro.apps import ForensicsApplication
+        from repro.data.synthetic import make_forensics_dataset
+
+        dataset = make_forensics_dataset(store, n_images=args.items, seed=args.seed)
+        app = ForensicsApplication()
+    elif args.app == "bioinformatics":
+        from repro.apps import BioinformaticsApplication
+        from repro.data.synthetic import make_bioinformatics_dataset
+
+        dataset = make_bioinformatics_dataset(store, n_species=max(3, args.items), seed=args.seed)
+        app = BioinformaticsApplication(k=3)
+    else:
+        from repro.apps import MicroscopyApplication
+        from repro.data.synthetic import make_microscopy_dataset
+
+        dataset = make_microscopy_dataset(store, n_particles=args.items, seed=args.seed)
+        app = MicroscopyApplication(restarts=2)
+
+    rocket = Rocket(app, store, RocketConfig(n_devices=args.devices, seed=args.seed))
+    results = rocket.run(dataset.keys)
+    print(rocket.last_stats.summary())
+    sample = list(results.items())[:5]
+    for a, b, v in sample:
+        print(f"  {a} vs {b}: {v:+.4f}")
+    if args.save:
+        save_results(results, args.save)
+        print(f"results written to {args.save}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profile = scaled_profile(PROFILES[args.profile], args.items)
+    spec = ClusterSpec.homogeneous(
+        args.nodes, gpu=args.gpu, gpus_per_node=args.gpus_per_node
+    )
+    config = RocketSimConfig(
+        seed=args.seed,
+        device_cache_slots=args.device_slots,
+        host_cache_slots=args.host_slots,
+        distributed_cache=not args.no_distributed_cache,
+        max_hops=args.hops,
+        profiling=bool(args.trace),
+    )
+    report = run_simulation(spec, profile, config, seed=args.seed)
+    print(report.summary())
+    if args.trace:
+        assert report.trace is not None
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": to_chrome_trace(report.trace)}, fh)
+        print(f"Chrome trace written to {args.trace}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "profiles":
+        return _cmd_profiles()
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

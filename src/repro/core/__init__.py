@@ -1,0 +1,24 @@
+"""Rocket's public programming interface (paper Section 3).
+
+Users implement an :class:`~repro.core.api.Application` — four
+application-specific callbacks (parse on CPU, pre-process on GPU,
+compare on GPU, post-process on CPU) — and hand it to
+:class:`~repro.core.rocket.Rocket` together with the list of item keys.
+Rocket takes care of "network communication, data transfers, memory
+management, scheduling, exploiting data reuse, load balancing, and
+overlapping computation with I/O".
+"""
+
+from repro.core.api import Application
+from repro.core.buffers import HostBuffer, DeviceBuffer
+from repro.core.result import ResultMatrix
+from repro.core.rocket import Rocket, RocketConfig
+
+__all__ = [
+    "Application",
+    "HostBuffer",
+    "DeviceBuffer",
+    "ResultMatrix",
+    "Rocket",
+    "RocketConfig",
+]

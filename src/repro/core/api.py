@@ -1,0 +1,91 @@
+"""The user-facing application interface (paper Fig. 3).
+
+An all-pairs application supplies four functions along Rocket's fixed
+pipeline (paper Fig. 2)::
+
+    load l(i):  [remote IO] -> parse (CPU) -> [H2D] -> preprocess (GPU)
+    f(x, y):    compare (GPU) -> [D2H] -> postprocess (CPU)
+
+The bracketed stages are Rocket's responsibility; the user implements
+only the four named callbacks plus the key-to-file mapping.  All
+callbacks must be pure functions of their inputs (the load pipeline is
+assumed deterministic — that is what makes caching sound).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generic, Hashable, TypeVar
+
+import numpy as np
+
+__all__ = ["Application"]
+
+K = TypeVar("K", bound=Hashable)
+R = TypeVar("R")
+
+
+class Application(ABC, Generic[K, R]):
+    """Base class for all-pairs applications.
+
+    Type parameters: ``K`` is the item key type (e.g. a file stem), ``R``
+    the per-pair result type (e.g. a correlation score).
+    """
+
+    @abstractmethod
+    def file_name(self, key: K) -> str:
+        """Name of the input file for ``key`` in the file store.
+
+        Mirrors ``getFilePathForKey`` of the paper's interface.
+        """
+
+    @abstractmethod
+    def parse(self, key: K, file_contents: bytes) -> np.ndarray:
+        """CPU stage: decode the raw file into an array.
+
+        For the paper's applications this is JPEG decoding (forensics),
+        FASTA decompression (bioinformatics), or JSON parsing
+        (microscopy).
+        """
+
+    def preprocess(self, key: K, parsed: np.ndarray) -> np.ndarray:
+        """GPU stage: transform parsed data into its comparable form.
+
+        Runs on a virtual device; the default is the identity (the
+        microscopy application has no pre-processing stage).
+        """
+        return parsed
+
+    @abstractmethod
+    def compare(self, key_a: K, item_a: np.ndarray, key_b: K, item_b: np.ndarray) -> np.ndarray:
+        """GPU stage: compare two pre-processed items.
+
+        Must be symmetric in distribution (Rocket only evaluates each
+        unordered pair once, with ``key_a < key_b`` in key order).
+        Returns the raw device-side result (copied D2H by the runtime).
+        """
+
+    def postprocess(self, key_a: K, key_b: K, raw_result: np.ndarray) -> R:
+        """CPU stage: turn the raw comparison result into the final value.
+
+        The default returns the raw result unchanged (all three paper
+        applications have a negligible post-processing stage).
+        """
+        return raw_result  # type: ignore[return-value]
+
+    # -- optional metadata ----------------------------------------------
+
+    def slot_nbytes_hint(self) -> int | None:
+        """Expected size of one pre-processed item, if known in advance.
+
+        Rocket sizes its fixed cache slots from this hint; ``None`` lets
+        the runtime size slots from the first loaded item.
+        """
+        return None
+
+    def validate_keys(self, keys: list) -> None:
+        """Sanity-check the key list before a run (duplicates, emptiness)."""
+        if len(keys) < 2:
+            raise ValueError(f"an all-pairs run needs at least 2 keys, got {len(keys)}")
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate keys in input")

@@ -1,0 +1,75 @@
+"""Host and device buffers mirroring the paper's Fig. 3 interface.
+
+Real Rocket passes ``HostBuffer`` / ``DeviceBuffer`` handles to the user
+callbacks so the runtime controls where data lives.  Our virtual
+devices are NumPy-backed, but the same discipline is kept: a
+:class:`DeviceBuffer` can only be produced by a
+:class:`~repro.runtime.devices.VirtualDevice` transfer, and kernels
+check that their operands live on the device that executes them.  This
+catches the classic heterogeneous-programming bug — using host data in
+a kernel without a transfer — in tests rather than in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["HostBuffer", "DeviceBuffer"]
+
+
+@dataclass
+class HostBuffer:
+    """A buffer in (page-locked) host memory.
+
+    Wraps either raw ``bytes`` (the file-content stage) or a NumPy array
+    (any later stage).
+    """
+
+    data: Any
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the payload in bytes."""
+        if isinstance(self.data, (bytes, bytearray, memoryview)):
+            return len(self.data)
+        if isinstance(self.data, np.ndarray):
+            return int(self.data.nbytes)
+        raise TypeError(f"unsupported host payload type {type(self.data).__name__}")
+
+    def as_array(self) -> np.ndarray:
+        """The payload as an ndarray (raises for raw bytes)."""
+        if not isinstance(self.data, np.ndarray):
+            raise TypeError("host buffer holds raw bytes, not an array")
+        return self.data
+
+
+@dataclass
+class DeviceBuffer:
+    """A buffer resident on one virtual device.
+
+    ``device_name`` records ownership; kernels verify it matches the
+    executing device.
+    """
+
+    data: np.ndarray
+    device_name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.data, np.ndarray):
+            raise TypeError(f"device buffers hold ndarrays, got {type(self.data).__name__}")
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the payload in bytes."""
+        return int(self.data.nbytes)
+
+    def check_device(self, device_name: str) -> None:
+        """Raise if this buffer does not live on ``device_name``."""
+        if self.device_name != device_name:
+            raise RuntimeError(
+                f"device buffer lives on {self.device_name!r} but kernel runs on "
+                f"{device_name!r}; a transfer is missing"
+            )

@@ -1,0 +1,154 @@
+"""Result collection for all-pairs runs.
+
+The output of an all-pairs computation is the strict upper triangle of
+an ``n x n`` matrix (paper Fig. 1).  :class:`ResultMatrix` stores it
+keyed by unordered key pairs, thread-safely (jobs complete concurrently
+in the threaded runtime), and converts to dense/condensed NumPy forms
+for downstream analysis such as the phylogeny clustering.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Generic, Hashable, Iterator, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = ["ResultMatrix", "save_results", "load_results"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class ResultMatrix(Generic[K, V]):
+    """Upper-triangular result store over an ordered key list."""
+
+    def __init__(self, keys: Sequence[K]) -> None:
+        if len(keys) < 2:
+            raise ValueError(f"need at least 2 keys, got {len(keys)}")
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate keys")
+        self.keys: List[K] = list(keys)
+        self._index: Dict[K, int] = {k: i for i, k in enumerate(self.keys)}
+        self._values: Dict[Tuple[int, int], V] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def n_items(self) -> int:
+        """Number of items."""
+        return len(self.keys)
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of pair cells ``C(n, 2)``."""
+        n = len(self.keys)
+        return n * (n - 1) // 2
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def _cell(self, a: K, b: K) -> Tuple[int, int]:
+        try:
+            i, j = self._index[a], self._index[b]
+        except KeyError as exc:
+            raise KeyError(f"unknown key {exc.args[0]!r}") from None
+        if i == j:
+            raise KeyError(f"diagonal cell ({a!r}, {a!r}) is not part of the workload")
+        return (i, j) if i < j else (j, i)
+
+    def set(self, a: K, b: K, value: V) -> None:
+        """Record the result for the unordered pair ``{a, b}``."""
+        cell = self._cell(a, b)
+        with self._lock:
+            if cell in self._values:
+                raise ValueError(f"pair {a!r}, {b!r} already has a result")
+            self._values[cell] = value
+
+    def get(self, a: K, b: K) -> V:
+        """Return the result for the unordered pair ``{a, b}``."""
+        cell = self._cell(a, b)
+        with self._lock:
+            try:
+                return self._values[cell]
+            except KeyError:
+                raise KeyError(f"no result recorded for pair {a!r}, {b!r}") from None
+
+    def is_complete(self) -> bool:
+        """True once every pair has a result."""
+        with self._lock:
+            return len(self._values) == self.n_pairs
+
+    def items(self) -> Iterator[Tuple[K, K, V]]:
+        """Iterate ``(key_a, key_b, value)`` in (i, j) index order."""
+        with self._lock:
+            cells = sorted(self._values.items())
+        for (i, j), v in cells:
+            yield self.keys[i], self.keys[j], v
+
+    def to_dense(self, fill: float = 0.0, symmetric: bool = True) -> np.ndarray:
+        """Dense ``n x n`` float matrix of the scalar results.
+
+        The diagonal is set to ``fill``; with ``symmetric=True`` the
+        lower triangle mirrors the upper one (distance-matrix form).
+        """
+        n = self.n_items
+        out = np.full((n, n), fill, dtype=np.float64)
+        with self._lock:
+            for (i, j), v in self._values.items():
+                out[i, j] = float(v)  # type: ignore[arg-type]
+                if symmetric:
+                    out[j, i] = float(v)  # type: ignore[arg-type]
+        return out
+
+    def to_condensed(self) -> np.ndarray:
+        """SciPy condensed distance-vector form (row-major upper triangle).
+
+        Raises if the matrix is incomplete (SciPy clustering needs all
+        pairs).
+        """
+        if not self.is_complete():
+            raise ValueError(
+                f"result matrix incomplete: {len(self)} of {self.n_pairs} pairs present"
+            )
+        n = self.n_items
+        out = np.empty(self.n_pairs, dtype=np.float64)
+        pos = 0
+        with self._lock:
+            for i in range(n):
+                for j in range(i + 1, n):
+                    out[pos] = float(self._values[(i, j)])  # type: ignore[arg-type]
+                    pos += 1
+        return out
+
+
+def save_results(matrix: "ResultMatrix", path) -> None:
+    """Persist a (complete or partial) scalar result matrix as JSON.
+
+    The file stores the ordered key list and the recorded (i, j, value)
+    triples; :func:`load_results` restores an equivalent matrix.
+    """
+    import json
+
+    triples = []
+    with matrix._lock:
+        for (i, j), v in sorted(matrix._values.items()):
+            triples.append([i, j, float(v)])  # type: ignore[arg-type]
+    doc = {"format": "rocket-results", "keys": list(map(str, matrix.keys)), "values": triples}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def load_results(path) -> "ResultMatrix[str, float]":
+    """Restore a result matrix saved by :func:`save_results`."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != "rocket-results":
+        raise ValueError(f"{path} is not a rocket result file")
+    matrix: ResultMatrix[str, float] = ResultMatrix(doc["keys"])
+    keys = matrix.keys
+    for i, j, v in doc["values"]:
+        matrix.set(keys[i], keys[j], float(v))
+    return matrix

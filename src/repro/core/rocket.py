@@ -1,0 +1,51 @@
+"""Rocket's main entry point (the paper's "main class").
+
+"Launching an all-pairs application on the cluster can then be achieved
+by simply calling Rocket's main class with an input array of Key
+elements" — :class:`Rocket` is that class.  It executes an
+:class:`~repro.core.api.Application` over a key list on the threaded
+single-node runtime and returns the :class:`~repro.core.result.ResultMatrix`.
+
+For cluster-scale *timing* studies (the paper's evaluation), use
+:func:`repro.sim.rocketsim.run_simulation` instead, which runs the same
+cache/scheduling logic on a simulated platform.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from repro.core.api import Application
+from repro.core.result import ResultMatrix
+from repro.data.filestore import FileStore
+from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig, RunStats
+
+__all__ = ["Rocket", "RocketConfig"]
+
+
+class Rocket:
+    """Run all-pairs applications with caching, stealing and overlap."""
+
+    def __init__(
+        self,
+        app: Application,
+        store: FileStore,
+        config: RocketConfig = RocketConfig(),
+    ) -> None:
+        self.app = app
+        self.store = store
+        self.config = config
+        self._runtime = LocalRocketRuntime(app, store, config)
+
+    def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
+        """Compute ``f(l(i), l(j))`` for every key pair ``i < j``.
+
+        ``pair_filter`` optionally restricts the workload to accepted
+        pairs (see :meth:`repro.runtime.localrocket.LocalRocketRuntime.run`).
+        """
+        return self._runtime.run(keys, pair_filter=pair_filter)
+
+    @property
+    def last_stats(self) -> Optional[RunStats]:
+        """Statistics of the most recent :meth:`run` (None before any run)."""
+        return self._runtime.last_stats

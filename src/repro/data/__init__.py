@@ -1,0 +1,50 @@
+"""Data substrate: file stores, codecs, and synthetic data sets.
+
+The paper's inputs (Dresden images, UniProt proteomes, simulated
+microscopy particles) are not redistributable here, so
+:mod:`repro.data.synthetic` generates statistically analogous data sets
+with *known ground truth* — which makes application correctness
+testable, something the original corpora do not offer.
+
+:mod:`repro.data.filestore` provides the storage abstraction Rocket
+loads from (the paper uses a central MinIO server): an in-memory store,
+a directory-backed store, and a bandwidth-throttled wrapper emulating
+remote storage contention on a single machine.
+"""
+
+from repro.data.filestore import FileStore, InMemoryStore, DirectoryStore, ThrottledStore
+from repro.data.formats import (
+    encode_image,
+    decode_image,
+    encode_fasta,
+    decode_fasta,
+    encode_particle,
+    decode_particle,
+)
+from repro.data.synthetic import (
+    ForensicsDataset,
+    BioinformaticsDataset,
+    MicroscopyDataset,
+    make_forensics_dataset,
+    make_bioinformatics_dataset,
+    make_microscopy_dataset,
+)
+
+__all__ = [
+    "FileStore",
+    "InMemoryStore",
+    "DirectoryStore",
+    "ThrottledStore",
+    "encode_image",
+    "decode_image",
+    "encode_fasta",
+    "decode_fasta",
+    "encode_particle",
+    "decode_particle",
+    "ForensicsDataset",
+    "BioinformaticsDataset",
+    "MicroscopyDataset",
+    "make_forensics_dataset",
+    "make_bioinformatics_dataset",
+    "make_microscopy_dataset",
+]

@@ -1,0 +1,155 @@
+"""File stores: where Rocket's load pipeline reads its inputs from.
+
+The paper serves all input files from a central MinIO object store over
+InfiniBand; loading an item therefore always starts with a remote read
+whose cost depends on file size and server load.  Three stores cover
+the reproduction's needs:
+
+- :class:`InMemoryStore` — a dict; fast unit-test substrate;
+- :class:`DirectoryStore` — real files on local disk (examples);
+- :class:`ThrottledStore` — wraps any store and meters a configurable
+  bandwidth with a thread-safe virtual clock, so a single machine can
+  emulate a contended remote server (concurrent readers genuinely slow
+  each other down, as on the paper's storage backend).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["FileStore", "InMemoryStore", "DirectoryStore", "ThrottledStore"]
+
+
+class FileStore(ABC):
+    """Abstract named-blob store."""
+
+    @abstractmethod
+    def read(self, name: str) -> bytes:
+        """Return the contents of blob ``name`` (KeyError if absent)."""
+
+    @abstractmethod
+    def write(self, name: str, data: bytes) -> None:
+        """Create or replace blob ``name``."""
+
+    @abstractmethod
+    def names(self) -> List[str]:
+        """All blob names, sorted."""
+
+    def exists(self, name: str) -> bool:
+        """True when blob ``name`` is present."""
+        return name in self.names()
+
+    def total_bytes(self) -> int:
+        """Sum of all blob sizes."""
+        return sum(len(self.read(n)) for n in self.names())
+
+
+class InMemoryStore(FileStore):
+    """Blobs in a process-local dict (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def read(self, name: str) -> bytes:
+        with self._lock:
+            try:
+                return self._blobs[name]
+            except KeyError:
+                raise KeyError(f"no such file {name!r} in store") from None
+
+    def write(self, name: str, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError(f"store contents must be bytes, got {type(data).__name__}")
+        with self._lock:
+            self._blobs[name] = bytes(data)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._blobs)
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._blobs
+
+
+class DirectoryStore(FileStore):
+    """Blobs as files under a directory."""
+
+    def __init__(self, root: "str | Path", create: bool = True) -> None:
+        self.root = Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        if not self.root.is_dir():
+            raise NotADirectoryError(f"{self.root} is not a directory")
+
+    def _path(self, name: str) -> Path:
+        if "/" in name or "\\" in name or name.startswith("."):
+            raise ValueError(f"invalid blob name {name!r}")
+        return self.root / name
+
+    def read(self, name: str) -> bytes:
+        path = self._path(name)
+        if not path.is_file():
+            raise KeyError(f"no such file {name!r} in {self.root}")
+        return path.read_bytes()
+
+    def write(self, name: str, data: bytes) -> None:
+        self._path(name).write_bytes(data)
+
+    def names(self) -> List[str]:
+        return sorted(p.name for p in self.root.iterdir() if p.is_file())
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).is_file()
+
+
+class ThrottledStore(FileStore):
+    """Bandwidth-metered wrapper emulating a shared remote server.
+
+    Reads pay ``latency + nbytes / bandwidth`` of wall-clock delay and
+    serialise on a virtual clock shared by all reader threads, exactly
+    like the simulator's storage link — so concurrent loads contend the
+    way they do against the paper's MinIO server.
+    """
+
+    def __init__(self, inner: FileStore, bandwidth: float, latency: float = 0.0) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.inner = inner
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self._lock = threading.Lock()
+        self._free_at = 0.0
+        self.bytes_read = 0
+        self.read_count = 0
+
+    def read(self, name: str) -> bytes:
+        data = self.inner.read(name)
+        service = self.latency + len(data) / self.bandwidth
+        with self._lock:
+            now = time.monotonic()
+            start = max(now, self._free_at)
+            done = start + service
+            self._free_at = done
+            self.bytes_read += len(data)
+            self.read_count += 1
+        delay = done - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        return data
+
+    def write(self, name: str, data: bytes) -> None:
+        self.inner.write(name, data)
+
+    def names(self) -> List[str]:
+        return self.inner.names()
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)

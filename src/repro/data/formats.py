@@ -1,0 +1,147 @@
+"""Tiny file codecs standing in for the paper's input formats.
+
+The three applications read JPEG images, gzip-compressed FASTA
+proteomes, and JSON particle files.  We implement compact equivalents
+from scratch (no imaging libraries are available offline):
+
+- ``RIMG`` — zlib-compressed uint8 raster with a binary header; like
+  JPEG it makes the *parse* stage a real decompress-and-decode cost;
+- ``FASTA.z`` — standard FASTA text, zlib-compressed;
+- particle JSON — a JSON document of 2-D localisations, as produced by
+  the simulator of Heydarian et al.
+
+All codecs round-trip exactly (tested property-based), which is what
+the deterministic-load assumption of Rocket's caches requires.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "encode_image",
+    "decode_image",
+    "encode_fasta",
+    "decode_fasta",
+    "encode_particle",
+    "decode_particle",
+]
+
+_IMG_MAGIC = b"RIMG"
+_IMG_VERSION = 1
+
+
+def encode_image(pixels: np.ndarray) -> bytes:
+    """Encode a 2-D uint8 image into the ``RIMG`` container."""
+    if pixels.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {pixels.shape}")
+    if pixels.dtype != np.uint8:
+        raise ValueError(f"expected uint8 pixels, got {pixels.dtype}")
+    height, width = pixels.shape
+    payload = zlib.compress(pixels.tobytes(), level=6)
+    header = struct.pack("<4sBII", _IMG_MAGIC, _IMG_VERSION, height, width)
+    return header + payload
+
+
+def decode_image(blob: bytes) -> np.ndarray:
+    """Decode an ``RIMG`` blob back into a 2-D uint8 array."""
+    header_size = struct.calcsize("<4sBII")
+    if len(blob) < header_size:
+        raise ValueError("truncated RIMG blob")
+    magic, version, height, width = struct.unpack("<4sBII", blob[:header_size])
+    if magic != _IMG_MAGIC:
+        raise ValueError(f"not an RIMG blob (magic {magic!r})")
+    if version != _IMG_VERSION:
+        raise ValueError(f"unsupported RIMG version {version}")
+    raw = zlib.decompress(blob[header_size:])
+    expected = height * width
+    if len(raw) != expected:
+        raise ValueError(f"RIMG payload has {len(raw)} bytes, expected {expected}")
+    return np.frombuffer(raw, dtype=np.uint8).reshape(height, width)
+
+
+def encode_fasta(records: Dict[str, str], compress: bool = True) -> bytes:
+    """Encode named sequences as (optionally zlib-compressed) FASTA text."""
+    if not records:
+        raise ValueError("no records to encode")
+    lines: List[str] = []
+    for name, seq in records.items():
+        if not name or any(c in name for c in "\n\r>"):
+            raise ValueError(f"invalid record name {name!r}")
+        if not seq:
+            raise ValueError(f"record {name!r} has an empty sequence")
+        lines.append(f">{name}")
+        # 60-column wrapping, as in conventional FASTA files.
+        lines.extend(seq[pos : pos + 60] for pos in range(0, len(seq), 60))
+    text = ("\n".join(lines) + "\n").encode("ascii")
+    return zlib.compress(text, level=6) if compress else text
+
+
+def decode_fasta(blob: bytes, compressed: bool = True) -> Dict[str, str]:
+    """Decode FASTA text into an ordered name -> sequence mapping."""
+    text = (zlib.decompress(blob) if compressed else blob).decode("ascii")
+    records: Dict[str, str] = {}
+    name = None
+    chunks: List[str] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                records[name] = "".join(chunks)
+            name = line[1:].strip()
+            if not name:
+                raise ValueError("FASTA record with empty name")
+            if name in records:
+                raise ValueError(f"duplicate FASTA record {name!r}")
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA sequence data before any header")
+            chunks.append(line)
+    if name is not None:
+        records[name] = "".join(chunks)
+    if not records:
+        raise ValueError("no FASTA records found")
+    for rec_name, seq in records.items():
+        if not seq:
+            raise ValueError(f"FASTA record {rec_name!r} has no sequence")
+    return records
+
+
+def encode_particle(points: np.ndarray, meta: Dict | None = None) -> bytes:
+    """Encode an ``(n, 2)`` localisation cloud as a JSON particle file."""
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) localisations, got shape {arr.shape}")
+    doc = {
+        "format": "rocket-particle",
+        "n_localizations": int(arr.shape[0]),
+        "x": arr[:, 0].tolist(),
+        "y": arr[:, 1].tolist(),
+        "meta": meta or {},
+    }
+    return json.dumps(doc).encode("utf-8")
+
+
+def decode_particle(blob: bytes) -> Tuple[np.ndarray, Dict]:
+    """Decode a particle JSON file into ``(points, meta)``."""
+    try:
+        doc = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"not a particle JSON file: {exc}") from exc
+    if doc.get("format") != "rocket-particle":
+        raise ValueError("not a rocket-particle document")
+    x = np.asarray(doc["x"], dtype=np.float64)
+    y = np.asarray(doc["y"], dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y coordinate lists differ in length")
+    if int(doc.get("n_localizations", -1)) != x.size:
+        raise ValueError("n_localizations does not match coordinate count")
+    return np.column_stack([x, y]), dict(doc.get("meta", {}))

@@ -1,0 +1,19 @@
+"""Analytical performance model (paper Section 6.1)."""
+
+from repro.model.perfmodel import (
+    PerformanceModel,
+    t_gpu,
+    t_cpu,
+    t_io,
+    t_min,
+    system_efficiency,
+)
+
+__all__ = [
+    "PerformanceModel",
+    "t_gpu",
+    "t_cpu",
+    "t_io",
+    "t_min",
+    "system_efficiency",
+]

@@ -1,0 +1,141 @@
+r"""The paper's analytical performance model (Section 6.1).
+
+Given ``n`` items, the comparison pipeline runs ``C(n,2)`` times and the
+load pipeline ``R*n`` times, where ``R >= 1`` is the *relative number of
+loads* — the paper's central data-reuse metric.  With perfect overlap
+the run time is the maximum of the per-resource totals:
+
+.. math::
+
+   T_{GPU} &= R n\, t_{pre} + \binom{n}{2} t_{cmp} \\
+   T_{CPU} &= R n\, t_{parse} + \binom{n}{2} t_{post} \\
+   T_{IO}  &\approx R n\, \overline{size} / BW
+
+The lower bound ``T_min`` assumes infinite memory (R = 1), infinite I/O
+bandwidth, and GPU-bound processing; *system efficiency* on ``p`` nodes
+is ``(T_min / p) / T_measured``.
+
+All stage times are expressed at a reference GPU speed (the TitanX
+Maxwell the paper measured Table 1 on); ``speed`` arguments rescale them
+for other devices, and ``aggregate_speed`` (the sum of per-GPU speed
+factors) generalises ``p`` for heterogeneous platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
+    from repro.sim.workload import WorkloadProfile
+
+__all__ = ["t_gpu", "t_cpu", "t_io", "t_min", "system_efficiency", "PerformanceModel"]
+
+
+def _n_pairs(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def t_gpu(profile: WorkloadProfile, reuse: float = 1.0, speed: float = 1.0) -> float:
+    """Total GPU processing time (eq. 1): ``R n t_pre + C(n,2) t_cmp``."""
+    _validate(reuse, speed)
+    n = profile.n_items
+    return (reuse * n * profile.t_preprocess[0] + _n_pairs(n) * profile.t_compare[0]) / speed
+
+
+def t_cpu(profile: WorkloadProfile, reuse: float = 1.0, cores: int = 1) -> float:
+    """Total CPU processing time (eq. 2): ``R n t_parse + C(n,2) t_post``.
+
+    ``cores`` spreads the work over the CPU pool (the paper's model uses
+    one CPU; per-thread bars in Fig. 8 report the undivided total, which
+    is ``cores=1``).
+    """
+    _validate(reuse, 1.0)
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    n = profile.n_items
+    return (reuse * n * profile.t_parse[0] + _n_pairs(n) * profile.t_postprocess[0]) / cores
+
+
+def t_io(profile: WorkloadProfile, bandwidth: float, reuse: float = 1.0) -> float:
+    """Total I/O time (eq. 3): ``R n * avg_file_size / bandwidth``."""
+    _validate(reuse, 1.0)
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    return reuse * profile.n_items * profile.file_size / bandwidth
+
+
+def t_min(profile: WorkloadProfile, speed: float = 1.0) -> float:
+    """Lower bound on run time (eq. 4): perfect reuse, GPU-bound.
+
+    ``T_min = n t_pre + C(n,2) t_cmp`` at the given GPU speed.
+    """
+    return t_gpu(profile, reuse=1.0, speed=speed)
+
+
+def system_efficiency(
+    profile: WorkloadProfile,
+    measured_runtime: float,
+    aggregate_speed: float = 1.0,
+) -> float:
+    """Eq. 5: ``(T_min / p) / T`` generalised to heterogeneous platforms.
+
+    ``aggregate_speed`` is the sum of the platform's GPU speed factors
+    relative to the reference device; for ``p`` identical reference-speed
+    single-GPU nodes it equals ``p``, recovering the paper's formula.
+    """
+    if measured_runtime <= 0:
+        raise ValueError(f"measured_runtime must be positive, got {measured_runtime}")
+    if aggregate_speed <= 0:
+        raise ValueError(f"aggregate_speed must be positive, got {aggregate_speed}")
+    return t_min(profile, speed=aggregate_speed) / measured_runtime
+
+
+def _validate(reuse: float, speed: float) -> None:
+    if reuse < 1.0:
+        raise ValueError(f"R cannot be below 1 (each item loads at least once), got {reuse}")
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Convenience bundle of the model for one (profile, platform) pair."""
+
+    profile: WorkloadProfile
+    aggregate_speed: float = 1.0
+    cpu_cores: int = 16
+    io_bandwidth: float = 2.0e9
+
+    def __post_init__(self) -> None:
+        if self.aggregate_speed <= 0:
+            raise ValueError("aggregate_speed must be positive")
+
+    def lower_bound(self) -> float:
+        """``T_min`` for this platform."""
+        return t_min(self.profile, speed=self.aggregate_speed)
+
+    def predicted_runtime(self, reuse: float) -> float:
+        """Max of the three resource totals for a given measured ``R``.
+
+        The paper's "perfect overlap" assumption: the run takes as long
+        as its most-loaded resource.
+        """
+        return max(
+            t_gpu(self.profile, reuse, self.aggregate_speed),
+            t_cpu(self.profile, reuse, self.cpu_cores),
+            t_io(self.profile, self.io_bandwidth, reuse),
+        )
+
+    def efficiency(self, measured_runtime: float) -> float:
+        """System efficiency of a measured run on this platform."""
+        return system_efficiency(self.profile, measured_runtime, self.aggregate_speed)
+
+    def bottleneck(self, reuse: float) -> str:
+        """Which resource the model predicts to dominate ("gpu"/"cpu"/"io")."""
+        totals = {
+            "gpu": t_gpu(self.profile, reuse, self.aggregate_speed),
+            "cpu": t_cpu(self.profile, reuse, self.cpu_cores),
+            "io": t_io(self.profile, self.io_bandwidth, reuse),
+        }
+        return max(totals, key=totals.get)

@@ -1,0 +1,26 @@
+"""The real (threaded) Rocket runtime for a single machine.
+
+While :mod:`repro.sim` reproduces the paper's *cluster-scale timing
+behaviour* on simulated time, this package executes *real application
+pipelines* — NumPy kernels standing in for the CUDA kernels — with the
+same architecture on actual OS threads:
+
+- :mod:`repro.runtime.devices` — virtual GPUs: a serial kernel queue
+  per device (one executor thread each, like Rocket's per-GPU launch
+  thread), explicit H2D/D2H transfers producing
+  :class:`~repro.core.buffers.DeviceBuffer` handles, and optional
+  speed factors for emulating heterogeneous devices;
+- :mod:`repro.runtime.localrocket` — the runtime proper: device and
+  host slot caches (the same :class:`~repro.cache.slots.SlotCache`
+  policy code the simulator uses) guarded by condition variables,
+  per-device worker threads running divide-and-conquer with
+  work-stealing, a CPU parse pool, a single I/O lane, and
+  concurrent-job admission control.
+
+This is what the examples and application-correctness tests run on.
+"""
+
+from repro.runtime.devices import VirtualDevice
+from repro.runtime.localrocket import LocalRocketRuntime, RunStats
+
+__all__ = ["VirtualDevice", "LocalRocketRuntime", "RunStats"]

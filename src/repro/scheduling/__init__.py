@@ -1,0 +1,37 @@
+"""Locality-aware work scheduling (paper Section 4.2).
+
+Rocket schedules the ``C(n, 2)`` pair jobs by divide-and-conquer over
+the upper-triangular pair matrix combined with hierarchical random
+work-stealing:
+
+- :mod:`repro.scheduling.quadtree` — recursive quadrant splitting of
+  the triangular workload (paper Fig. 5), yielding tasks whose leaves
+  are individual pairs (or small pair blocks);
+- :mod:`repro.scheduling.workstealing` — per-worker task deques (owner
+  works deepest-first from the bottom; thieves steal the *largest*
+  task from the top) and victim selection that prefers same-node
+  workers before random remote nodes;
+- :mod:`repro.scheduling.throttle` — the concurrent-job limit that
+  back-pressures job submission so one node cannot drain all work and
+  cache capacity cannot deadlock.
+"""
+
+from repro.scheduling.quadtree import PairBlock, iter_pairs_morton
+from repro.scheduling.workstealing import (
+    TaskDeque,
+    VictimSelector,
+    StealOrder,
+    WorkerTopology,
+)
+from repro.scheduling.throttle import SimAdmission, ThreadAdmission
+
+__all__ = [
+    "PairBlock",
+    "iter_pairs_morton",
+    "TaskDeque",
+    "VictimSelector",
+    "StealOrder",
+    "WorkerTopology",
+    "SimAdmission",
+    "ThreadAdmission",
+]

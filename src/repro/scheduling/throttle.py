@@ -1,0 +1,116 @@
+"""Concurrent-job-limit back-pressure (paper Section 4.2, last paragraph).
+
+Rocket's runtime is asynchronous: submitting a job does not block.
+Without back-pressure one fast worker could claim the entire workload
+while others idle, and unbounded in-flight jobs would exhaust cache
+slots.  The *concurrent job limit* bounds how many submitted jobs may be
+simultaneously in flight per worker; once reached, the worker stops
+submitting until an older job completes.
+
+Two implementations share the same counting semantics:
+
+- :class:`SimAdmission` for the discrete-event simulator (waiters are
+  simulation events, FIFO);
+- :class:`ThreadAdmission` for the real threaded runtime (a bounded
+  semaphore).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Deque
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
+    from repro.sim.engine import Environment, Event
+
+__all__ = ["SimAdmission", "ThreadAdmission"]
+
+
+class SimAdmission:
+    """FIFO admission tickets on simulated time.
+
+    ``acquire()`` returns an event that fires when a ticket is free;
+    ``release()`` returns a ticket and wakes the oldest waiter.  The
+    simulator's worker loops yield on ``acquire()`` before spawning each
+    pair job, which is exactly the paper's "stop submitting new jobs
+    until an older job completes".
+    """
+
+    def __init__(self, env: "Environment", limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"job limit must be >= 1, got {limit}")
+        self.env = env
+        self.limit = limit
+        self._in_flight = 0
+        self._waiting: Deque["Event"] = deque()
+        self.peak_in_flight = 0
+        self.total_admitted = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs currently admitted and not yet released."""
+        return self._in_flight
+
+    def acquire(self) -> "Event":
+        """Event that fires when one in-flight ticket is granted."""
+        evt = self.env.event()
+        if self._in_flight < self.limit:
+            self._grant(evt)
+        else:
+            self._waiting.append(evt)
+        return evt
+
+    def _grant(self, evt: "Event") -> None:
+        self._in_flight += 1
+        self.total_admitted += 1
+        if self._in_flight > self.peak_in_flight:
+            self.peak_in_flight = self._in_flight
+        evt.succeed()
+
+    def release(self) -> None:
+        """Return one ticket (called on job completion)."""
+        if self._in_flight <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        self._in_flight -= 1
+        if self._waiting and self._in_flight < self.limit:
+            self._grant(self._waiting.popleft())
+
+
+class ThreadAdmission:
+    """Bounded-semaphore admission for the threaded runtime."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"job limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._sem = threading.BoundedSemaphore(limit)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.peak_in_flight = 0
+        self.total_admitted = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs currently admitted and not yet released."""
+        with self._lock:
+            return self._in_flight
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        """Block until a ticket is free; False on timeout."""
+        ok = self._sem.acquire(timeout=timeout)
+        if ok:
+            with self._lock:
+                self._in_flight += 1
+                self.total_admitted += 1
+                if self._in_flight > self.peak_in_flight:
+                    self.peak_in_flight = self._in_flight
+        return ok
+
+    def release(self) -> None:
+        """Return one ticket (called on job completion)."""
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without matching acquire()")
+            self._in_flight -= 1
+        self._sem.release()

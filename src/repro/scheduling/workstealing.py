@@ -1,0 +1,185 @@
+"""Hierarchical random work-stealing (paper Section 4.2).
+
+Each worker (one per GPU) owns a :class:`TaskDeque`:
+
+- the owner pushes split children and pops from the *bottom* — i.e. it
+  descends depth-first, always working on the task with the best data
+  locality ("worker threads always prioritize local tasks at the lowest
+  level in the tree");
+- thieves steal from the *top*, where the largest / highest-level task
+  sits ("the task stolen is always at the highest level since it
+  results in the most work per steal request").
+
+Victim selection is hierarchical: an idle worker first tries workers on
+its own node (in random order), then random remote workers — stealing
+locally keeps the host cache warm.  Both choices are ablatable via
+:class:`StealOrder` and the ``hierarchical`` flag.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Deque, Dict, Generic, Iterator, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["TaskDeque", "StealOrder", "WorkerTopology", "VictimSelector"]
+
+T = TypeVar("T")
+
+
+class StealOrder(Enum):
+    """Which end of the victim's deque a thief takes from."""
+
+    LARGEST = "largest"  # top of the deque: the paper's choice
+    SMALLEST = "smallest"  # bottom: ablation baseline
+
+
+class TaskDeque(Generic[T]):
+    """Double-ended task queue for one worker.
+
+    Not thread-safe by itself — the simulator is single-threaded and
+    the threaded runtime wraps it in a lock.
+    """
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self._tasks: Deque[T] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.steals_suffered = 0
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def push(self, task: T) -> None:
+        """Owner pushes a task at the bottom."""
+        self._tasks.append(task)
+        self.pushes += 1
+
+    def push_children(self, children: Sequence[T]) -> None:
+        """Push split children so the *first* child is popped next.
+
+        Reversed push keeps the depth-first (Morton) traversal order,
+        which is what yields the scheduler's data locality.
+        """
+        for child in reversed(children):
+            self.push(child)
+
+    def pop(self) -> Optional[T]:
+        """Owner pops the most recently pushed task (bottom / deepest)."""
+        if not self._tasks:
+            return None
+        self.pops += 1
+        return self._tasks.pop()
+
+    def steal(self, order: StealOrder = StealOrder.LARGEST) -> Optional[T]:
+        """A thief removes a task (top for LARGEST, bottom for SMALLEST)."""
+        if not self._tasks:
+            return None
+        self.steals_suffered += 1
+        if order is StealOrder.LARGEST:
+            return self._tasks.popleft()
+        return self._tasks.pop()
+
+    def peek_steal_target(self, order: StealOrder = StealOrder.LARGEST) -> Optional[T]:
+        """Look at the task a steal would take, without removing it.
+
+        Cache-aware stealing (the paper's Section 7 extension) inspects
+        prospective victims' tasks before committing to one.
+        """
+        if not self._tasks:
+            return None
+        return self._tasks[0] if order is StealOrder.LARGEST else self._tasks[-1]
+
+
+@dataclass(frozen=True)
+class WorkerTopology:
+    """Placement of workers on nodes: ``node_of[w]`` is worker ``w``'s node."""
+
+    node_of: tuple
+
+    def __post_init__(self) -> None:
+        if not self.node_of:
+            raise ValueError("topology needs at least one worker")
+
+    @classmethod
+    def from_gpus_per_node(cls, gpus_per_node: Sequence[int]) -> "WorkerTopology":
+        """Build a topology from GPU counts, one worker per GPU."""
+        placement: List[int] = []
+        for node, count in enumerate(gpus_per_node):
+            if count < 0:
+                raise ValueError(f"negative GPU count for node {node}")
+            placement.extend([node] * count)
+        if not placement:
+            raise ValueError("topology needs at least one GPU")
+        return cls(tuple(placement))
+
+    @property
+    def n_workers(self) -> int:
+        """Total number of workers."""
+        return len(self.node_of)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes."""
+        return max(self.node_of) + 1
+
+    def peers_on_node(self, worker: int) -> List[int]:
+        """Other workers on the same node as ``worker``."""
+        node = self.node_of[worker]
+        return [w for w, nd in enumerate(self.node_of) if nd == node and w != worker]
+
+    def remote_workers(self, worker: int) -> List[int]:
+        """Workers on different nodes than ``worker``."""
+        node = self.node_of[worker]
+        return [w for w, nd in enumerate(self.node_of) if nd != node]
+
+
+class VictimSelector:
+    """Random victim ordering with node-first preference.
+
+    ``candidates(worker)`` yields prospective victims: same-node peers
+    in random order first, then remote workers in random order.  With
+    ``hierarchical=False`` all other workers are yielded in one uniform
+    random order (the ablation baseline — plain random stealing without
+    locality preference).
+    """
+
+    def __init__(
+        self,
+        topology: WorkerTopology,
+        rng: np.random.Generator,
+        hierarchical: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.hierarchical = hierarchical
+        self._rng = rng
+        # Pre-computed peer lists; shuffled copies are drawn per call.
+        self._local: Dict[int, List[int]] = {
+            w: topology.peers_on_node(w) for w in range(topology.n_workers)
+        }
+        self._remote: Dict[int, List[int]] = {
+            w: topology.remote_workers(w) for w in range(topology.n_workers)
+        }
+
+    def _shuffled(self, items: List[int]) -> List[int]:
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def candidates(self, worker: int) -> Iterator[int]:
+        """Yield steal victims for ``worker`` in preference order."""
+        if worker < 0 or worker >= self.topology.n_workers:
+            raise ValueError(f"unknown worker {worker}")
+        if self.hierarchical:
+            yield from self._shuffled(self._local[worker])
+            yield from self._shuffled(self._remote[worker])
+        else:
+            yield from self._shuffled(self._local[worker] + self._remote[worker])
+
+    def is_remote(self, worker: int, victim: int) -> bool:
+        """True when ``victim`` lives on a different node than ``worker``."""
+        return self.topology.node_of[worker] != self.topology.node_of[victim]

@@ -1,0 +1,60 @@
+"""Discrete-event simulation substrate and the simulated Rocket runtime.
+
+The paper evaluates Rocket on DAS-5 (16 heterogeneous GPU nodes) and on
+the Cartesius supercomputer (48 nodes, 96 GPUs).  Neither platform is
+available here, so this subpackage provides a deterministic
+discrete-event simulation of such clusters:
+
+- :mod:`repro.sim.engine` — a generator-based process simulation kernel
+  (events, processes, timeouts, condition events);
+- :mod:`repro.sim.resources` — FIFO resources, stores, bandwidth links;
+- :mod:`repro.sim.gpu` — GPU performance models for the seven device
+  types used in the paper;
+- :mod:`repro.sim.node` / :mod:`repro.sim.cluster` — node and cluster
+  topology including the shared storage server;
+- :mod:`repro.sim.workload` — per-application workload profiles derived
+  from Table 1 of the paper;
+- :mod:`repro.sim.rocketsim` — the complete Rocket runtime (three-level
+  cache, divide-and-conquer work-stealing, asynchronous pipelines)
+  executing on simulated time.
+
+All simulated results are exact deterministic functions of the
+(workload, configuration, seed) triple.
+"""
+
+from repro.sim.engine import Environment, Event, Process, Interrupt, all_of, any_of
+from repro.sim.resources import Resource, Store, BandwidthLink, Mailbox
+from repro.sim.gpu import GpuModel, GPU_CATALOG, gpu_model
+from repro.sim.node import NodeSpec, SimNode
+from repro.sim.cluster import ClusterSpec, SimCluster, StorageSpec
+from repro.sim.workload import WorkloadProfile, FORENSICS, BIOINFORMATICS, MICROSCOPY, scaled_profile
+from repro.sim.rocketsim import RocketSim, RocketSimConfig, SimReport
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Interrupt",
+    "all_of",
+    "any_of",
+    "Resource",
+    "Store",
+    "BandwidthLink",
+    "Mailbox",
+    "GpuModel",
+    "GPU_CATALOG",
+    "gpu_model",
+    "NodeSpec",
+    "SimNode",
+    "ClusterSpec",
+    "StorageSpec",
+    "SimCluster",
+    "WorkloadProfile",
+    "FORENSICS",
+    "BIOINFORMATICS",
+    "MICROSCOPY",
+    "scaled_profile",
+    "RocketSim",
+    "RocketSimConfig",
+    "SimReport",
+]

@@ -1,0 +1,160 @@
+"""Cluster topology: nodes, network, and the shared storage server.
+
+:class:`ClusterSpec` describes a platform declaratively (so benchmark
+sweeps can build "1..16 TitanX nodes" or the paper's heterogeneous
+4-node mix in one line); :class:`SimCluster` instantiates it on a
+simulation environment and provides inter-node data transfer and
+control messaging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence, Tuple
+
+from repro.sim.engine import Environment, Event
+from repro.sim.node import NodeSpec, SimNode
+from repro.sim.resources import coupled_transfer
+from repro.sim.storage import StorageServer, StorageSpec
+from repro.scheduling.workstealing import WorkerTopology
+
+__all__ = ["ClusterSpec", "SimCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a whole platform."""
+
+    nodes: Tuple[NodeSpec, ...]
+    storage: StorageSpec = StorageSpec()
+    #: One-way latency of small control messages (steal requests,
+    #: distributed-cache protocol messages).  Higher than raw NIC
+    #: latency: it includes the communication-stack handling cost.
+    control_latency: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+        if self.control_latency < 0:
+            raise ValueError("control_latency must be non-negative")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_nodes: int,
+        gpu: str = "TitanX Maxwell",
+        gpus_per_node: int = 1,
+        node_spec: NodeSpec | None = None,
+        storage: StorageSpec | None = None,
+    ) -> "ClusterSpec":
+        """A cluster of ``n_nodes`` identical nodes (the DAS-5 scaling setup)."""
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        if gpus_per_node < 1:
+            raise ValueError(f"need at least one GPU per node, got {gpus_per_node}")
+        base = node_spec if node_spec is not None else NodeSpec()
+        nodes = tuple(
+            replace(base, name=f"node{i}", gpus=(gpu,) * gpus_per_node)
+            for i in range(n_nodes)
+        )
+        return cls(nodes=nodes, storage=storage if storage is not None else StorageSpec())
+
+    @classmethod
+    def das5_heterogeneous(cls) -> "ClusterSpec":
+        """The paper's Section 6.5 platform: 4 nodes, 7 GPUs, 4 generations.
+
+        Node I: K20m; node II: GTX980 + TitanX Pascal; node III:
+        2x RTX 2080 Ti; node IV: GTX Titan + TitanX Pascal.
+        """
+        return cls(
+            nodes=(
+                NodeSpec(name="node I", gpus=("K20m",)),
+                NodeSpec(name="node II", gpus=("GTX980", "TitanX Pascal")),
+                NodeSpec(name="node III", gpus=("RTX2080Ti", "RTX2080Ti")),
+                NodeSpec(name="node IV", gpus=("GTX Titan", "TitanX Pascal")),
+            )
+        )
+
+    @classmethod
+    def cartesius(cls, n_nodes: int) -> "ClusterSpec":
+        """Cartesius nodes: 2x K40m, 96 GB (80 GB host cache), dual FDR."""
+        GB = 1e9
+        node = NodeSpec(
+            name="cartesius",
+            gpus=("K40m", "K40m"),
+            cpu_cores=16,
+            host_cache_bytes=80.0 * GB,
+            nic_bandwidth=14.0e9,  # two ConnectX-3 adapters
+        )
+        return cls.homogeneous(n_nodes, gpu="K40m", gpus_per_node=2, node_spec=node)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def n_gpus(self) -> int:
+        """Total number of GPUs across all nodes."""
+        return sum(len(nd.gpus) for nd in self.nodes)
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate GPU speed in baseline-GPU equivalents."""
+        return sum(nd.total_speed for nd in self.nodes)
+
+    def worker_topology(self) -> WorkerTopology:
+        """One work-stealing worker per GPU, placed on its node."""
+        return WorkerTopology.from_gpus_per_node([len(nd.gpus) for nd in self.nodes])
+
+
+class SimCluster:
+    """A :class:`ClusterSpec` instantiated on a simulation environment."""
+
+    def __init__(self, env: Environment, spec: ClusterSpec) -> None:
+        self.env = env
+        self.spec = spec
+        self.nodes: List[SimNode] = [SimNode(env, ns, i) for i, ns in enumerate(spec.nodes)]
+        self.storage = StorageServer(env, spec.storage)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    def all_gpus(self):
+        """All GPUs of the cluster as a flat list (worker order)."""
+        return [gpu for node in self.nodes for gpu in node.gpus]
+
+    def control_message(self, src: int, dst: int) -> Event:
+        """Deliver a small protocol message from node ``src`` to ``dst``.
+
+        Control messages cost latency only (they are a few bytes and do
+        not meaningfully occupy NIC bandwidth).  A message to self still
+        pays the local handling cost.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        return self.env.timeout(self.spec.control_latency)
+
+    def transfer(self, src: int, dst: int, nbytes: float) -> Event:
+        """Move ``nbytes`` of payload from node ``src`` to node ``dst``.
+
+        Occupies the sender's uplink and the receiver's downlink for the
+        same interval (both are virtual-clock FIFO links, so concurrent
+        distributed-cache traffic contends realistically on both sides).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            # Local memory copy; effectively free at this modelling scale.
+            return self.env.timeout(0.0)
+        return coupled_transfer(
+            self.env,
+            [self.nodes[src].nic_up, self.nodes[dst].nic_down],
+            nbytes,
+        )
+
+    def _check_node(self, idx: int) -> None:
+        if not 0 <= idx < len(self.nodes):
+            raise ValueError(f"node index {idx} out of range [0, {len(self.nodes)})")

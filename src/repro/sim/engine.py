@@ -1,0 +1,368 @@
+"""Generator-based discrete-event simulation kernel.
+
+A *process* is a Python generator that yields :class:`Event` objects;
+the environment resumes the generator when the yielded event triggers,
+sending the event's value back into the generator (or throwing the
+event's exception).  The design follows the classic SimPy architecture
+but is trimmed to exactly what the simulated Rocket runtime needs:
+
+- :class:`Environment` — the event loop with a binary-heap agenda;
+- :class:`Event` — one-shot triggerable with success/failure payloads;
+- :class:`Timeout` — an event that fires after a simulated delay;
+- :class:`Process` — runs a generator; is itself an event that triggers
+  when the generator finishes (supporting process joins);
+- :func:`all_of` / :func:`any_of` — condition events over several events.
+
+The kernel is single-threaded and deterministic: events scheduled at
+equal times fire in scheduling order (FIFO tie-breaking by a sequence
+counter), so simulation results are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "all_of",
+    "any_of",
+]
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, deadlock, …)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (used e.g. to cancel in-flight distributed-cache waits
+    when the run terminates early).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`.  Callbacks attached before the
+    trigger run when the environment processes the event; callbacks
+    attached after the trigger run immediately at the current simulated
+    time.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only valid once triggered)."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or the exception for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Attach ``fn``; runs on processing (immediately if already processed)."""
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Process(Event):
+    """Runs a generator as a simulation process.
+
+    The process is itself an event: it triggers with the generator's
+    return value when the generator finishes, or fails with the
+    generator's unhandled exception.  Other processes can therefore
+    ``yield proc`` to join it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        evt = Event(self.env)
+        evt._ok = False
+        evt._value = Interrupt(cause)
+        evt._defused = True  # not a real failure; never reported as unhandled
+        evt.add_callback(self._resume)
+        self.env._schedule(evt)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                setattr(event, "_defused", True)
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+        if target.env is not self.env:
+            raise SimulationError("yielded event belongs to a different Environment")
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The simulation event loop.
+
+    ``now`` is the current simulated time in seconds.  :meth:`run`
+    processes events until the agenda empties, ``until`` is reached, or
+    a given event triggers.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self.now = float(initial_time)
+        self._agenda: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._agenda, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between steps)."""
+        return self._active_process
+
+    # -- factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start ``generator`` as a new process."""
+        return Process(self, generator, name=name)
+
+    # -- execution ----------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event on the agenda."""
+        if not self._agenda:
+            raise SimulationError("step() on an empty agenda")
+        self.now, _, event = heapq.heappop(self._agenda)
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for fn in callbacks:
+            fn(event)
+        if event._ok is False and not getattr(event, "_defused", False):
+            # A failed event nobody handled: surface it instead of
+            # silently continuing with a corrupt simulation.
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the agenda empties, time ``until``, or event ``until``.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        stop_time: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            done = [False]
+            stop_event.add_callback(lambda _e: done.__setitem__(0, True))
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self.now:
+                raise ValueError(f"until={stop_time} is in the past (now={self.now})")
+
+        while self._agenda:
+            next_time = self._agenda[0][0]
+            if stop_time is not None and next_time > stop_time:
+                self.now = stop_time
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if stop_event._ok:
+                    return stop_event.value
+                setattr(stop_event, "_defused", True)
+                raise stop_event.value
+
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "simulation agenda empty but the awaited event never triggered "
+                "(deadlock: some process is waiting forever)"
+            )
+        if stop_time is not None:
+            self.now = stop_time
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when empty)."""
+        return self._agenda[0][0] if self._agenda else float("inf")
+
+
+class _Condition(Event):
+    """Shared machinery for :func:`all_of` / :func:`any_of`."""
+
+    def __init__(self, env: Environment, events: Iterable[Event], need_all: bool) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._need_all = need_all
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for e in self._events:
+            if e.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+            e.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if event._ok is False:
+                setattr(event, "_defused", True)
+            return
+        if event._ok is False:
+            setattr(event, "_defused", True)
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._need_all:
+            if self._remaining == 0:
+                self.succeed([e.value for e in self._events])
+        else:
+            self.succeed(event.value)
+
+
+def all_of(env: Environment, events: Iterable[Event]) -> Event:
+    """Event that succeeds when *all* of ``events`` succeed.
+
+    Its value is the list of the constituent values (in input order).
+    Fails as soon as any constituent fails.
+    """
+    return _Condition(env, events, need_all=True)
+
+
+def any_of(env: Environment, events: Iterable[Event]) -> Event:
+    """Event that succeeds when *any* of ``events`` succeeds.
+
+    Its value is the first-succeeding event's value.
+    """
+    return _Condition(env, events, need_all=False)

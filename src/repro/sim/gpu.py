@@ -1,0 +1,88 @@
+"""GPU performance models for the devices used in the paper.
+
+The paper's platforms mix seven NVIDIA device types across four
+generations (Kepler, Maxwell, Pascal, Turing).  Rocket's behaviour
+depends on two device properties only: *how fast* kernels run (which
+drives heterogeneous load balancing, Fig. 13/14) and *how much memory*
+the device cache can use (which bounds first-level cache slots, Fig. 9).
+
+We model each device by a speed factor relative to the paper's
+single-node baseline (TitanX Maxwell = 1.0), derived from the ratio of
+peak single-precision throughput, plus memory capacity and PCIe copy
+bandwidth.  Kernel times from the workload profiles (Table 1, measured
+on the TitanX Maxwell) are divided by the speed factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["GpuModel", "GPU_CATALOG", "gpu_model"]
+
+#: Hardware capacities in the paper resolve to decimal gigabytes
+#: (e.g. the 40 GB host cache holds exactly 1050 x 38.1 MB slots).
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Static performance description of one GPU type."""
+
+    name: str
+    generation: str
+    #: Kernel speed relative to the TitanX Maxwell baseline.
+    speed_factor: float
+    #: Device memory in bytes (bounds the device cache).
+    memory_bytes: int
+    #: Host-to-device copy bandwidth, bytes/s.
+    h2d_bandwidth: float
+    #: Device-to-host copy bandwidth, bytes/s.
+    d2h_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ValueError(f"speed_factor must be positive: {self.speed_factor}")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be positive: {self.memory_bytes}")
+
+    def kernel_time(self, baseline_seconds: float) -> float:
+        """Time this device needs for a kernel measured at the baseline."""
+        if baseline_seconds < 0:
+            raise ValueError(f"negative kernel time: {baseline_seconds}")
+        return baseline_seconds / self.speed_factor
+
+    def usable_cache_bytes(self, reserve_fraction: float = 0.08) -> int:
+        """Device memory available to the cache after kernel workspace.
+
+        Rocket reserves part of device memory for kernel buffers; the
+        paper's TitanX Maxwell (12 GB) runs an 11 GB device cache, i.e.
+        ~8 % reserved, which we use as the default.
+        """
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError(f"reserve_fraction out of range: {reserve_fraction}")
+        return int(self.memory_bytes * (1.0 - reserve_fraction))
+
+
+#: Speed factors are peak-FP32 ratios vs the TitanX Maxwell (6.7 TFLOPS):
+#: K20m 3.5, GTX Titan 4.7, K40m 4.3, GTX 980 5.0, Titan X Pascal 11.0,
+#: RTX 2080 Ti 13.4 TFLOPS.  PCIe gen-3 devices copy at ~12 GB/s, the
+#: older Kepler boards at ~6 GB/s effective.
+GPU_CATALOG: Dict[str, GpuModel] = {
+    "K20m": GpuModel("K20m", "Kepler", 0.52, int(5 * GB), 6e9, 6e9),
+    "GTX Titan": GpuModel("GTX Titan", "Kepler", 0.70, int(6 * GB), 6e9, 6e9),
+    "K40m": GpuModel("K40m", "Kepler", 0.64, int(12 * GB), 6e9, 6e9),
+    "GTX980": GpuModel("GTX980", "Maxwell", 0.75, int(4 * GB), 12e9, 12e9),
+    "TitanX Maxwell": GpuModel("TitanX Maxwell", "Maxwell", 1.00, int(12 * GB), 12e9, 12e9),
+    "TitanX Pascal": GpuModel("TitanX Pascal", "Pascal", 1.64, int(12 * GB), 12e9, 12e9),
+    "RTX2080Ti": GpuModel("RTX2080Ti", "Turing", 2.00, int(11 * GB), 12e9, 12e9),
+}
+
+
+def gpu_model(name: str) -> GpuModel:
+    """Look up a GPU by name, with a helpful error for typos."""
+    try:
+        return GPU_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_CATALOG))
+        raise KeyError(f"unknown GPU model {name!r}; known models: {known}") from None

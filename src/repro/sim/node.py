@@ -1,0 +1,125 @@
+"""Simulated compute nodes: CPU pool, GPUs, NIC, and I/O thread.
+
+A :class:`SimNode` mirrors one DAS-5/Cartesius node as Rocket sees it:
+
+- a CPU core pool executing parse (and post-process) tasks — Rocket's
+  "thread pool performs CPU computations";
+- one or more GPUs, each with a serial kernel queue and dedicated
+  H2D / D2H copy engines (matching Rocket's one launch thread plus one
+  copy thread per direction per GPU);
+- a full-duplex NIC (separate up/down links) carrying distributed-cache
+  traffic;
+- a single I/O lane serialising remote-storage reads, matching Rocket's
+  "one thread for I/O on the (remote) file system".
+
+The host cache itself is owned by the runtime (:mod:`repro.sim.rocketsim`)
+because its slot count depends on the workload's slot size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.sim.engine import Environment
+from repro.sim.gpu import GpuModel, gpu_model
+from repro.sim.resources import BandwidthLink, Resource, SerialServer
+
+__all__ = ["NodeSpec", "SimGpu", "SimNode"]
+
+GB = 1e9  # decimal, matching the paper-derived slot counts
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one node.
+
+    Defaults correspond to the paper's DAS-5 VU-site nodes: 16 CPU
+    cores, 64 GB of memory with 40 GB allocated to the host cache, and
+    56 Gb/s FDR InfiniBand (~7 GB/s per direction).
+    """
+
+    name: str = "node"
+    gpus: Tuple[str, ...] = ("TitanX Maxwell",)
+    cpu_cores: int = 16
+    host_cache_bytes: float = 40.0 * GB
+    nic_bandwidth: float = 7.0e9  # bytes/s each direction
+    nic_latency: float = 5.0e-6  # seconds, InfiniBand-class
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            raise ValueError("a node needs at least one GPU")
+        if self.cpu_cores < 1:
+            raise ValueError(f"cpu_cores must be >= 1, got {self.cpu_cores}")
+        if self.host_cache_bytes <= 0:
+            raise ValueError("host_cache_bytes must be positive")
+        for name in self.gpus:
+            gpu_model(name)  # validate early
+
+    @property
+    def gpu_models(self) -> List[GpuModel]:
+        """Resolved GPU models for this node."""
+        return [gpu_model(name) for name in self.gpus]
+
+    @property
+    def total_speed(self) -> float:
+        """Sum of GPU speed factors (baseline-GPU equivalents)."""
+        return sum(m.speed_factor for m in self.gpu_models)
+
+
+class SimGpu:
+    """One GPU instance inside a node."""
+
+    def __init__(self, env: Environment, model: GpuModel, node_index: int, index: int) -> None:
+        self.env = env
+        self.model = model
+        self.node_index = node_index
+        self.index = index  # index within the node
+        label = f"n{node_index}g{index}"
+        self.compute = SerialServer(env, name=f"gpu:{label}")
+        self.h2d = BandwidthLink(env, model.h2d_bandwidth, name=f"h2d:{label}")
+        self.d2h = BandwidthLink(env, model.d2h_bandwidth, name=f"d2h:{label}")
+        # Busy-time split for the Fig. 8 GPU bar.
+        self.preprocess_busy = 0.0
+        self.compare_busy = 0.0
+        self.pairs_done = 0
+
+    @property
+    def lane(self) -> str:
+        """Trace lane name for this GPU."""
+        return f"GPU n{self.node_index}.{self.index} ({self.model.name})"
+
+    def kernel_time(self, baseline_seconds: float) -> float:
+        """Scale a baseline-GPU kernel time to this device."""
+        return self.model.kernel_time(baseline_seconds)
+
+
+class SimNode:
+    """One simulated node: resources instantiated on an environment."""
+
+    def __init__(self, env: Environment, spec: NodeSpec, index: int) -> None:
+        self.env = env
+        self.spec = spec
+        self.index = index
+        self.cpu = Resource(env, spec.cpu_cores, name=f"cpu:n{index}")
+        self.io = Resource(env, 1, name=f"io:n{index}")
+        self.nic_up = BandwidthLink(env, spec.nic_bandwidth, spec.nic_latency, name=f"nic_up:n{index}")
+        self.nic_down = BandwidthLink(env, spec.nic_bandwidth, spec.nic_latency, name=f"nic_down:n{index}")
+        self.gpus: List[SimGpu] = [
+            SimGpu(env, model, index, g) for g, model in enumerate(spec.gpu_models)
+        ]
+        # Busy-time accounting for the per-thread bars of Fig. 8.
+        self.cpu_busy = 0.0
+        self.io_busy = 0.0
+        # Data-reuse accounting: how many times this node ran the load
+        # pipeline (the paper's per-node contribution to R).
+        self.loads = 0
+
+    @property
+    def n_gpus(self) -> int:
+        """Number of GPUs on this node."""
+        return len(self.gpus)
+
+    def __repr__(self) -> str:
+        gpus = "+".join(g.model.name for g in self.gpus)
+        return f"SimNode({self.index}: {gpus})"

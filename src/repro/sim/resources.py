@@ -1,0 +1,281 @@
+"""Simulation resource primitives: FIFO resources, stores, links, mailboxes.
+
+These model the contended hardware of the paper's platforms:
+
+- :class:`Resource` — ``capacity`` concurrent holders, FIFO grant order;
+  models CPU core pools and GPU execution queues;
+- :class:`BandwidthLink` — a serialised byte pipe with latency; models
+  PCIe copy engines, NICs, and the storage server's uplink;
+- :class:`Store` / :class:`Mailbox` — producer/consumer queues; the
+  mailbox carries the distributed-cache protocol messages between nodes.
+
+All grant orders are FIFO, keeping the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store", "BandwidthLink", "Mailbox", "SerialServer", "coupled_transfer"]
+
+
+class Resource:
+    """A counted resource with FIFO queueing.
+
+    ``request()`` returns an event that triggers when one unit is
+    granted; the holder must call ``release()`` exactly once.  The
+    convenience generator :meth:`using` wraps a one-shot hold::
+
+        yield from resource.using(lambda: env.timeout(dt))
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Event] = deque()
+        # Busy-time accounting (for utilisation reports).
+        self._busy_accum = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a grant."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Ask for one unit; the returned event fires when granted."""
+        evt = self.env.event()
+        if self._in_use < self.capacity:
+            self._grant(evt)
+        else:
+            self._waiting.append(evt)
+        return evt
+
+    def _grant(self, evt: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.env.now
+        self._in_use += 1
+        evt.succeed(self)
+
+    def release(self) -> None:
+        """Return one unit; grants the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self._busy_accum += self.env.now - self._busy_since
+            self._busy_since = None
+        if self._waiting and self._in_use < self.capacity:
+            self._grant(self._waiting.popleft())
+
+    def busy_time(self) -> float:
+        """Total time during which at least one unit was held."""
+        accum = self._busy_accum
+        if self._busy_since is not None:
+            accum += self.env.now - self._busy_since
+        return accum
+
+    def using(self, work_factory) -> Generator:
+        """Hold one unit around the event produced by ``work_factory``.
+
+        ``work_factory`` is called *after* the grant and must return an
+        event (typically a timeout for the service time); the unit is
+        released when that event fires, even if it fails.
+        """
+        yield self.request()
+        try:
+            result = yield work_factory()
+        finally:
+            self.release()
+        return result
+
+
+class Store:
+    """Unbounded FIFO item store with blocking ``get``.
+
+    ``put`` never blocks (the simulated runtime applies back-pressure at
+    the job-admission level, per the paper's concurrent-job limit, not
+    at queue level).
+    """
+
+    def __init__(self, env: Environment, name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (FIFO)."""
+        evt = self.env.event()
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+
+class Mailbox(Store):
+    """A named message queue; one per node for cache-protocol traffic."""
+
+    def __init__(self, env: Environment, owner: str) -> None:
+        super().__init__(env, name=f"mailbox:{owner}")
+        self.owner = owner
+
+
+class BandwidthLink:
+    """A serialised data pipe: ``latency + nbytes / bandwidth`` per transfer.
+
+    Transfers are served strictly FIFO; a transfer issued while the link
+    is busy starts when all earlier transfers finish.  This is an O(1)
+    "virtual clock" implementation — the link keeps only the time at
+    which it next becomes free — so simulating millions of transfers is
+    cheap.
+
+    Models: PCIe H2D/D2H engines (one link each, matching Rocket's one
+    copy thread per direction per GPU), node NICs, and the storage
+    server's shared uplink (where FIFO serialisation reproduces the
+    bandwidth contention the paper discusses for MinIO).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        latency: float = 0.0,
+        name: str = "link",
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.env = env
+        self.bandwidth = float(bandwidth)  # bytes per second
+        self.latency = float(latency)
+        self.name = name
+        self._free_at = 0.0
+        self.bytes_transferred = 0
+        self.transfer_count = 0
+        self._busy_accum = 0.0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Pure service time for ``nbytes`` (no queueing)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: float) -> Event:
+        """Start a transfer; the event fires when the last byte lands.
+
+        The event's value is the ``(start, end)`` interval the transfer
+        occupied on the link (used for trace recording).
+        """
+        service = self.transfer_time(nbytes)
+        start = max(self.env.now, self._free_at)
+        done = start + service
+        self._free_at = done
+        self._busy_accum += service
+        self.bytes_transferred += int(nbytes)
+        self.transfer_count += 1
+        return self.env.timeout(done - self.env.now, value=(start, done))
+
+    def busy_time(self) -> float:
+        """Total service time issued so far (excludes queueing waits)."""
+        return self._busy_accum
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of already-issued work still ahead of a new transfer."""
+        return max(0.0, self._free_at - self.env.now)
+
+
+class SerialServer:
+    """A FIFO single server measured in seconds of service time.
+
+    Models one GPU's kernel execution queue: kernels issued by Rocket's
+    per-GPU launch thread run back-to-back in issue order.  Like
+    :class:`BandwidthLink` this is an O(1) virtual-clock server.  The
+    completion event's value is the ``(start, end)`` service interval,
+    which the runtime uses for trace recording and busy accounting.
+    """
+
+    def __init__(self, env: Environment, name: str = "server") -> None:
+        self.env = env
+        self.name = name
+        self._free_at = 0.0
+        self._busy_accum = 0.0
+        self.jobs_executed = 0
+
+    def execute(self, service_time: float) -> Event:
+        """Enqueue ``service_time`` seconds of work; fires at completion.
+
+        The event's value is the ``(start, end)`` interval actually
+        occupied on the server.
+        """
+        if service_time < 0:
+            raise ValueError(f"negative service time: {service_time}")
+        start = max(self.env.now, self._free_at)
+        end = start + service_time
+        self._free_at = end
+        self._busy_accum += service_time
+        self.jobs_executed += 1
+        return self.env.timeout(end - self.env.now, value=(start, end))
+
+    def busy_time(self) -> float:
+        """Total service time issued so far."""
+        return self._busy_accum
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of issued work still pending ahead of new work."""
+        return max(0.0, self._free_at - self.env.now)
+
+
+def coupled_transfer(
+    env: Environment,
+    links: "list[BandwidthLink]",
+    nbytes: float,
+    extra_latency: float = 0.0,
+) -> Event:
+    """Transfer ``nbytes`` through several links simultaneously.
+
+    An inter-node transfer occupies the sender's NIC uplink *and* the
+    receiver's NIC downlink for the same wall-clock interval; the
+    transfer starts when the last of the involved links becomes free.
+    All links advance their virtual clocks to the common completion
+    time, so subsequent transfers on either side queue behind it.
+    """
+    if not links:
+        raise ValueError("coupled_transfer needs at least one link")
+    if nbytes < 0:
+        raise ValueError(f"negative transfer size: {nbytes}")
+    service = extra_latency + max(link.transfer_time(nbytes) - link.latency for link in links)
+    start = max([env.now] + [link._free_at for link in links])
+    done = start + service + max(link.latency for link in links)
+    for link in links:
+        link._free_at = done
+        link._busy_accum += done - start
+        link.bytes_transferred += int(nbytes)
+        link.transfer_count += 1
+    return env.timeout(done - env.now, value=(start, done))

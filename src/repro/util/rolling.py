@@ -1,0 +1,109 @@
+"""Rolling-window throughput measurement (paper Fig. 14).
+
+The heterogeneous experiment plots, per GPU, the number of pairs
+processed per second as a rolling one-minute average over the run.
+:class:`ThroughputSeries` records event completion timestamps and
+produces exactly that series; :class:`RollingAverage` is the generic
+windowed mean underneath it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RollingAverage", "ThroughputSeries"]
+
+
+class RollingAverage:
+    """Mean of (time, value) observations within a trailing window.
+
+    Observations must be appended in non-decreasing time order — both the
+    simulator and the threaded runtime naturally satisfy this per lane.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self._sum = 0.0
+        self._head = 0  # index of first in-window observation
+
+    def __len__(self) -> int:
+        return len(self._times) - self._head
+
+    def add(self, time: float, value: float) -> None:
+        """Record one observation at ``time``."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"observations must be time-ordered: got {time} after {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+        self._sum += value
+        self._evict(time)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._head < len(self._times) and self._times[self._head] <= cutoff:
+            self._sum -= self._values[self._head]
+            self._head += 1
+
+    def mean(self) -> float:
+        """Mean of in-window values (0.0 when the window is empty)."""
+        n = len(self)
+        return self._sum / n if n else 0.0
+
+
+@dataclass
+class ThroughputSeries:
+    """Completion-event recorder producing rolling pairs/second series.
+
+    Each call to :meth:`record` marks one completed unit of work (one
+    pair comparison).  :meth:`series` then evaluates the rolling rate
+    ``events_in_window / window`` on a regular grid, matching the
+    one-minute rolling average of the paper's Fig. 14.
+    """
+
+    window: float = 60.0
+    times: List[float] = field(default_factory=list)
+
+    def record(self, time: float) -> None:
+        """Mark one completion at ``time`` (must be non-decreasing)."""
+        if self.times and time < self.times[-1]:
+            raise ValueError("completion times must be non-decreasing")
+        self.times.append(float(time))
+
+    @property
+    def count(self) -> int:
+        """Total completions recorded."""
+        return len(self.times)
+
+    def rate_at(self, t: float) -> float:
+        """Rolling rate (events/sec) in ``(t - window, t]``."""
+        hi = bisect.bisect_right(self.times, t)
+        lo = bisect.bisect_right(self.times, t - self.window)
+        return (hi - lo) / self.window
+
+    def series(self, step: float | None = None, end: float | None = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate the rolling rate on a grid; returns ``(t, rate)`` arrays."""
+        if not self.times:
+            return np.zeros(0), np.zeros(0)
+        if end is None:
+            end = self.times[-1]
+        if step is None:
+            step = max(self.window / 6.0, 1e-9)
+        grid = np.arange(0.0, end + step, step)
+        rates = np.array([self.rate_at(t) for t in grid])
+        return grid, rates
+
+    def overall_rate(self) -> float:
+        """Average rate over the full recorded span (count / makespan)."""
+        if len(self.times) < 1 or self.times[-1] <= 0:
+            return 0.0
+        return len(self.times) / self.times[-1]

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figure series
+and prints it as an aligned text table; these helpers keep the output
+format consistent across the harness (and diffable between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["format_row", "format_table"]
+
+
+def _cell(value: Any) -> str:
+    """Render a single cell: floats get 4 significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_row(cells: Sequence[Any], widths: Sequence[int]) -> str:
+    """Format one row given pre-computed column widths."""
+    parts = []
+    for value, width in zip(cells, widths):
+        text = _cell(value)
+        parts.append(text.rjust(width) if _is_numeric(value) else text.ljust(width))
+    return "  ".join(parts).rstrip()
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table with ``headers`` over ``rows``."""
+    materialized: List[Sequence[Any]] = [list(r) for r in rows]
+    ncols = len(headers)
+    for r in materialized:
+        if len(r) != ncols:
+            raise ValueError(f"row has {len(r)} cells, expected {ncols}: {r!r}")
+    widths = [len(h) for h in headers]
+    rendered = [[_cell(c) for c in r] for r in materialized]
+    for r in rendered:
+        for i, text in enumerate(r):
+            widths[i] = max(widths[i], len(text))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, r in zip(materialized, rendered):
+        parts = []
+        for value, text, width in zip(raw, r, widths):
+            parts.append(text.rjust(width) if _is_numeric(value) else text.ljust(width))
+        lines.append("  ".join(parts).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Task tracing on per-resource lanes (paper Fig. 6 and Fig. 8).
+
+Rocket's profiling flag records, for every thread, which task ran when.
+The paper uses these traces in two ways: a timeline visualisation
+(Fig. 6) and per-thread total busy time compared against the overall run
+time (Fig. 8 / Fig. 10).  :class:`TraceRecorder` supports both: events
+carry a *lane* (thread name, e.g. ``"GPU0"``, ``"CPU"``, ``"IO"``), a
+task label, and a ``[start, end)`` interval in seconds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+__all__ = ["TraceEvent", "TraceRecorder", "lane_summary", "ascii_timeline", "to_chrome_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed task: ``lane`` ran ``label`` over ``[start, end)``."""
+
+    lane: str
+    label: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"end {self.end} precedes start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        """Task duration in seconds."""
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records; can be disabled cheaply.
+
+    A disabled recorder swallows events with near-zero overhead so that
+    production runs (profiling flag off, the paper's default) pay almost
+    nothing — mirroring Rocket's optional profiling flag.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    def record(self, lane: str, label: str, start: float, end: float) -> None:
+        """Record one task execution (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(TraceEvent(lane, label, start, end))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events, in insertion order."""
+        return list(self._events)
+
+    def lanes(self) -> List[str]:
+        """Sorted list of distinct lane names."""
+        return sorted({e.lane for e in self._events})
+
+    def events_for(self, lane: str) -> List[TraceEvent]:
+        """Events of one lane, sorted by start time."""
+        return sorted((e for e in self._events if e.lane == lane), key=lambda e: e.start)
+
+    def busy_time(self, lane: str) -> float:
+        """Total busy time of ``lane`` (sum of event durations).
+
+        Fig. 8 of the paper plots exactly this per thread: "data per
+        thread was extracted from a profile trace by taking the total
+        time of tasks executed by each thread".
+        """
+        return sum(e.duration for e in self._events if e.lane == lane)
+
+    def busy_by_label(self, lane: str) -> Dict[str, float]:
+        """Busy time of ``lane`` broken down by task label.
+
+        The GPU bar in Fig. 8 is split into pre-processing and
+        comparison; this breakdown provides that split.
+        """
+        acc: Dict[str, float] = defaultdict(float)
+        for e in self._events:
+            if e.lane == lane:
+                acc[e.label] += e.duration
+        return dict(acc)
+
+    def makespan(self) -> float:
+        """End time of the last event (0.0 when empty)."""
+        return max((e.end for e in self._events), default=0.0)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+
+def lane_summary(recorder: TraceRecorder) -> Dict[str, Dict[str, float]]:
+    """Per-lane summary: busy time, utilisation, task count, label split."""
+    span = recorder.makespan()
+    out: Dict[str, Dict[str, float]] = {}
+    for lane in recorder.lanes():
+        events = recorder.events_for(lane)
+        busy = sum(e.duration for e in events)
+        out[lane] = {
+            "busy": busy,
+            "utilization": busy / span if span > 0 else 0.0,
+            "tasks": float(len(events)),
+        }
+    return out
+
+
+def ascii_timeline(
+    recorder: TraceRecorder,
+    width: int = 100,
+    t0: float | None = None,
+    t1: float | None = None,
+) -> str:
+    """Render the trace as an ASCII timeline, one row per lane (Fig. 6).
+
+    Each column is a time bucket; a cell shows the first letter of the
+    label that occupied most of that bucket, or ``.`` when idle.
+    """
+    events = recorder.events
+    if not events:
+        return "(empty trace)"
+    if t0 is None:
+        t0 = min(e.start for e in events)
+    if t1 is None:
+        t1 = max(e.end for e in events)
+    if t1 <= t0:
+        t1 = t0 + 1e-9
+    dt = (t1 - t0) / width
+    lines = []
+    for lane in recorder.lanes():
+        cells = [" "] * width
+        occupancy = [0.0] * width
+        for e in recorder.events_for(lane):
+            first = max(0, int((e.start - t0) / dt))
+            last = min(width - 1, int((e.end - t0) / dt))
+            for c in range(first, last + 1):
+                bucket_lo = t0 + c * dt
+                bucket_hi = bucket_lo + dt
+                overlap = min(e.end, bucket_hi) - max(e.start, bucket_lo)
+                if overlap > occupancy[c]:
+                    occupancy[c] = overlap
+                    cells[c] = (e.label[:1] or "?").upper()
+        row = "".join(ch if ch != " " else "." for ch in cells)
+        lines.append(f"{lane:>12} |{row}|")
+    lines.append(f"{'':>12}  t0={t0:.3f}s  t1={t1:.3f}s  ({dt:.4f}s/col)")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(recorder: TraceRecorder, time_unit: float = 1e6) -> list:
+    """Convert a trace to Chrome ``chrome://tracing`` JSON events.
+
+    Returns the list of complete-duration events (phase ``X``); dump it
+    with ``json.dump({"traceEvents": events}, fh)`` and load the file in
+    ``chrome://tracing`` or Perfetto for the interactive version of the
+    paper's Fig. 6.  ``time_unit`` converts seconds to the microsecond
+    timestamps the format expects.
+    """
+    events = []
+    for lane_index, lane in enumerate(recorder.lanes()):
+        for e in recorder.events_for(lane):
+            events.append(
+                {
+                    "name": e.label,
+                    "cat": "rocket",
+                    "ph": "X",
+                    "ts": e.start * time_unit,
+                    "dur": e.duration * time_unit,
+                    "pid": 0,
+                    "tid": lane_index,
+                    "args": {"lane": lane},
+                }
+            )
+    return events

@@ -1,0 +1,197 @@
+"""End-to-end tests: each paper application through the full Rocket stack.
+
+These are the strongest correctness checks in the suite: synthetic data
+with known ground truth goes through file encoding, the threaded runtime
+(caches, stealing, admission), the application kernels, and the
+downstream analysis — and the ground truth must come back out.
+"""
+
+import numpy as np
+import pytest
+from scipy.cluster.hierarchy import fcluster, linkage
+
+from repro.apps import BioinformaticsApplication, ForensicsApplication, MicroscopyApplication
+from repro.apps.bioinformatics.phylogeny import neighbor_joining, robinson_foulds
+from repro.core.rocket import Rocket
+from repro.data.filestore import InMemoryStore, ThrottledStore
+from repro.runtime.localrocket import RocketConfig
+from repro.data.synthetic import (
+    make_bioinformatics_dataset,
+    make_forensics_dataset,
+    make_microscopy_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def forensics_run():
+    store = InMemoryStore()
+    ds = make_forensics_dataset(
+        store, n_images=16, n_cameras=4, image_shape=(64, 64), seed=11
+    )
+    rocket = Rocket(
+        ForensicsApplication(),
+        store,
+        RocketConfig(n_devices=2, device_cache_slots=6, host_cache_slots=10, seed=1),
+    )
+    results = rocket.run(ds.keys)
+    return ds, results, rocket.last_stats
+
+
+class TestForensicsEndToEnd:
+    def test_complete(self, forensics_run):
+        _, results, _ = forensics_run
+        assert results.is_complete()
+
+    def test_same_camera_scores_separate_cleanly(self, forensics_run):
+        ds, results, _ = forensics_run
+        same, diff = [], []
+        for a, b, score in results.items():
+            (same if ds.same_camera(a, b) else diff).append(score)
+        assert np.mean(same) > 0.25
+        assert abs(np.mean(diff)) < 0.05
+        # Perfect separation: the worst same-camera score beats the best
+        # different-camera score.
+        assert min(same) > max(diff)
+
+    def test_threshold_classification_accuracy(self, forensics_run):
+        ds, results, _ = forensics_run
+        threshold = 0.15
+        correct = sum(
+            (score > threshold) == ds.same_camera(a, b) for a, b, score in results.items()
+        )
+        assert correct / results.n_pairs == 1.0
+
+    def test_cache_reuse_happened(self, forensics_run):
+        _, _, stats = forensics_run
+        assert stats.device_counters.hits > 0
+        assert stats.reuse_factor < stats.n_items  # far better than naive
+
+
+class TestBioinformaticsEndToEnd:
+    @pytest.fixture(scope="class")
+    def bio_run(self):
+        store = InMemoryStore()
+        ds = make_bioinformatics_dataset(
+            store, n_species=10, n_proteins=6, protein_length=400, mutation_rate=0.05, seed=21
+        )
+        rocket = Rocket(
+            BioinformaticsApplication(k=3),
+            store,
+            RocketConfig(n_devices=2, device_cache_slots=5, host_cache_slots=8, seed=2),
+        )
+        results = rocket.run(ds.keys)
+        return ds, results
+
+    def test_distance_matrix_properties(self, bio_run):
+        _, results = bio_run
+        dense = results.to_dense()
+        assert (dense >= -1e-9).all()
+        assert (dense <= 1.0 + 1e-9).all()
+        assert np.allclose(dense, dense.T)
+
+    def test_reconstructed_tree_close_to_truth(self, bio_run):
+        ds, results = bio_run
+        tree = neighbor_joining(results.to_dense(), list(results.keys))
+        true_tree = ds.tree
+        rf = robinson_foulds(tree, true_tree)
+        # Perfect recovery would be 0; with short synthetic proteomes a
+        # small disagreement is acceptable, but the tree must carry far
+        # more signal than a random topology (~2*(n-3) ~ 14 for n=10).
+        assert rf <= 6
+
+    def test_sibling_species_closer_than_distant(self, bio_run):
+        ds, results = bio_run
+        import networkx as nx
+
+        # Tree distance (edge count) vs CV distance must correlate.
+        leaves = list(results.keys)
+        tree_d, cv_d = [], []
+        for i, a in enumerate(leaves):
+            for b in leaves[i + 1 :]:
+                tree_d.append(nx.shortest_path_length(ds.tree, a, b))
+                cv_d.append(results.get(a, b))
+        corr = np.corrcoef(tree_d, cv_d)[0, 1]
+        assert corr > 0.3
+
+
+class TestMicroscopyEndToEnd:
+    @pytest.fixture(scope="class")
+    def micro_run(self):
+        store = InMemoryStore()
+        ds = make_microscopy_dataset(
+            store,
+            n_particles=8,
+            template_points=32,
+            jitter=0.02,
+            keep_fraction=0.85,
+            outlier_fraction=0.05,
+            seed=31,
+        )
+        rocket = Rocket(
+            MicroscopyApplication(sigma=0.06, restarts=3),
+            store,
+            RocketConfig(n_devices=2, device_cache_slots=8, host_cache_slots=8, seed=3),
+        )
+        results = rocket.run(ds.keys)
+        return ds, results
+
+    def test_complete_and_positive(self, micro_run):
+        _, results = micro_run
+        assert results.is_complete()
+        scores = [v for _, _, v in results.items()]
+        assert all(s > 0 for s in scores)
+
+    def test_registration_scores_beat_random_alignment(self, micro_run):
+        """All particles share a template: registered scores must exceed
+        what unrelated clouds would produce."""
+        ds, results = micro_run
+        from repro.apps.microscopy.registration import bhattacharyya_similarity
+        from repro.util.rng import seeded_rng
+
+        rng = seeded_rng(0)
+        random_cloud_a = rng.uniform(-1, 1, (30, 2))
+        random_cloud_b = rng.uniform(-1, 1, (30, 2))
+        baseline = bhattacharyya_similarity(random_cloud_a, random_cloud_b, sigma=0.06)
+        scores = [v for _, _, v in results.items()]
+        assert np.median(scores) > baseline
+
+    def test_perfect_reuse(self, micro_run):
+        """The microscopy data set fits in memory: R must be 1 (paper)."""
+        _, results = micro_run
+        # 8 particles, 8 slots: one load each.
+
+
+class TestThrottledStoreIntegration:
+    def test_run_with_simulated_remote_storage(self):
+        """I/O contention must not break correctness (only slow things)."""
+        inner = InMemoryStore()
+        ds = make_forensics_dataset(inner, n_images=6, n_cameras=2, image_shape=(32, 32), seed=5)
+        store = ThrottledStore(inner, bandwidth=5e6, latency=0.001)
+        rocket = Rocket(
+            ForensicsApplication(),
+            store,
+            RocketConfig(n_devices=2, device_cache_slots=4, host_cache_slots=6, seed=4),
+        )
+        results = rocket.run(ds.keys)
+        assert results.is_complete()
+        assert store.read_count == rocket.last_stats.loads
+
+
+class TestClusteringDownstream:
+    def test_forensics_scores_cluster_by_camera(self, forensics_run):
+        """Hierarchical clustering on (1 - NCC) recovers the cameras."""
+        ds, results, _ = forensics_run
+        dist = 1.0 - results.to_dense(fill=0.0)
+        np.fill_diagonal(dist, 0.0)
+        from scipy.spatial.distance import squareform
+
+        condensed = squareform(dist, checks=False)
+        labels = fcluster(linkage(condensed, method="average"), t=ds.n_cameras, criterion="maxclust")
+        # Images of one camera must share a cluster label.
+        by_camera = {}
+        for key, label in zip(ds.keys, labels):
+            by_camera.setdefault(ds.camera_of[key], set()).add(label)
+        assert all(len(labels_) == 1 for labels_ in by_camera.values())
+        # And distinct cameras get distinct labels.
+        all_labels = [next(iter(v)) for v in by_camera.values()]
+        assert len(set(all_labels)) == ds.n_cameras

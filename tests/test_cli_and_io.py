@@ -1,0 +1,111 @@
+"""Tests for the CLI, result persistence, and trace export."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.result import ResultMatrix, load_results, save_results
+from repro.util.trace import TraceRecorder, to_chrome_trace
+
+
+class TestResultPersistence:
+    def test_roundtrip(self, tmp_path):
+        rm = ResultMatrix(["a", "b", "c"])
+        rm.set("a", "b", 1.5)
+        rm.set("a", "c", -0.25)
+        rm.set("b", "c", 3.0)
+        path = tmp_path / "out.json"
+        save_results(rm, path)
+        back = load_results(path)
+        assert back.keys == rm.keys
+        for a, b, v in rm.items():
+            assert back.get(a, b) == v
+
+    def test_partial_matrix_roundtrip(self, tmp_path):
+        rm = ResultMatrix(["a", "b", "c"])
+        rm.set("a", "c", 7.0)
+        path = tmp_path / "partial.json"
+        save_results(rm, path)
+        back = load_results(path)
+        assert len(back) == 1
+        assert back.get("a", "c") == 7.0
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_results(path)
+
+
+class TestChromeTrace:
+    def test_event_fields(self):
+        rec = TraceRecorder()
+        rec.record("GPU", "compare", 1.0, 2.5)
+        rec.record("CPU", "parse", 0.0, 1.0)
+        events = to_chrome_trace(rec)
+        assert len(events) == 2
+        gpu = next(e for e in events if e["args"]["lane"] == "GPU")
+        assert gpu["name"] == "compare"
+        assert gpu["ph"] == "X"
+        assert gpu["ts"] == pytest.approx(1.0e6)
+        assert gpu["dur"] == pytest.approx(1.5e6)
+
+    def test_lanes_get_distinct_tids(self):
+        rec = TraceRecorder()
+        rec.record("A", "x", 0, 1)
+        rec.record("B", "y", 0, 1)
+        tids = {e["tid"] for e in to_chrome_trace(rec)}
+        assert len(tids) == 2
+
+    def test_json_serialisable(self):
+        rec = TraceRecorder()
+        rec.record("A", "x", 0, 1)
+        json.dumps({"traceEvents": to_chrome_trace(rec)})
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profiles_command(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "forensics" in out and "microscopy" in out
+        assert "12397710" in out.replace(",", "")
+
+    def test_simulate_command(self, capsys):
+        rc = main(["simulate", "forensics", "--items", "24", "--nodes", "2",
+                   "--device-slots", "6", "--host-slots", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pairs over 24 items" in out
+        assert "R =" in out
+
+    def test_simulate_writes_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        rc = main(["simulate", "microscopy", "--items", "8", "--nodes", "1",
+                   "--device-slots", "4", "--host-slots", "6", "--trace", str(trace_path)])
+        assert rc == 0
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_demo_command_saves_results(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        rc = main(["demo", "forensics", "--items", "6", "--save", str(out_path)])
+        assert rc == 0
+        back = load_results(out_path)
+        assert back.is_complete()
+        assert back.n_items == 6
+
+    def test_demo_bioinformatics(self, capsys):
+        assert main(["demo", "bioinformatics", "--items", "4"]) == 0
+        assert "pairs" in capsys.readouterr().out
+
+    def test_demo_microscopy(self, capsys):
+        assert main(["demo", "microscopy", "--items", "4"]) == 0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "astronomy"])

@@ -1,0 +1,205 @@
+"""Unit tests for GPU catalog, nodes, storage, and cluster topology."""
+
+import pytest
+
+from repro.scheduling.workstealing import WorkerTopology
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.engine import Environment
+from repro.sim.gpu import GPU_CATALOG, gpu_model
+from repro.sim.node import NodeSpec, SimNode
+from repro.sim.storage import StorageServer, StorageSpec
+
+
+class TestGpuCatalog:
+    def test_baseline_is_titanx_maxwell(self):
+        assert gpu_model("TitanX Maxwell").speed_factor == 1.0
+
+    def test_generational_ordering(self):
+        """Newer generations must be faster (the Fig. 13/14 premise)."""
+        assert gpu_model("K20m").speed_factor < gpu_model("GTX980").speed_factor
+        assert gpu_model("GTX980").speed_factor < gpu_model("TitanX Maxwell").speed_factor
+        assert gpu_model("TitanX Maxwell").speed_factor < gpu_model("TitanX Pascal").speed_factor
+        assert gpu_model("TitanX Pascal").speed_factor < gpu_model("RTX2080Ti").speed_factor
+
+    def test_kernel_time_scaling(self):
+        rtx = gpu_model("RTX2080Ti")
+        assert rtx.kernel_time(1.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            rtx.kernel_time(-1.0)
+
+    def test_usable_cache_default_matches_paper(self):
+        """TitanX Maxwell: 12 GB card runs an 11 GB device cache."""
+        usable = gpu_model("TitanX Maxwell").usable_cache_bytes()
+        assert 10.9e9 < usable < 11.9e9
+
+    def test_unknown_model_helpful_error(self):
+        with pytest.raises(KeyError, match="known models"):
+            gpu_model("H100")
+
+    def test_catalog_has_all_paper_devices(self):
+        expected = {"K20m", "GTX Titan", "K40m", "GTX980", "TitanX Maxwell", "TitanX Pascal", "RTX2080Ti"}
+        assert expected == set(GPU_CATALOG)
+
+
+class TestNodeSpec:
+    def test_defaults_match_das5(self):
+        spec = NodeSpec()
+        assert spec.cpu_cores == 16
+        assert spec.host_cache_bytes == pytest.approx(40e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(gpus=())
+        with pytest.raises(KeyError):
+            NodeSpec(gpus=("NotAGpu",))
+        with pytest.raises(ValueError):
+            NodeSpec(cpu_cores=0)
+
+    def test_total_speed(self):
+        spec = NodeSpec(gpus=("RTX2080Ti", "RTX2080Ti"))
+        assert spec.total_speed == pytest.approx(4.0)
+
+    def test_sim_node_structure(self):
+        env = Environment()
+        node = SimNode(env, NodeSpec(gpus=("K20m", "GTX980")), index=3)
+        assert node.n_gpus == 2
+        assert node.cpu.capacity == 16
+        assert node.io.capacity == 1
+        assert "K20m" in node.gpus[0].lane
+        assert "n3" in repr(node) or "3" in repr(node)
+
+
+class TestStorage:
+    def test_read_duration(self):
+        env = Environment()
+        server = StorageServer(env, StorageSpec(bandwidth=100.0, latency=1.0))
+
+        def proc():
+            # Latency is paid by the requester (overlapping across
+            # concurrent readers); only bandwidth is shared.
+            yield env.timeout(server.latency)
+            yield server.read(50)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(1.5)
+        assert server.bytes_read == 50
+        assert server.read_count == 1
+
+    def test_concurrent_readers_overlap_latency(self):
+        env = Environment()
+        server = StorageServer(env, StorageSpec(bandwidth=100.0, latency=1.0))
+        done = []
+
+        def proc(tag):
+            yield env.timeout(server.latency)
+            yield server.read(50)
+            done.append((env.now, tag))
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        # Latencies overlap; only the two 0.5 s transfers serialise.
+        assert done == [(pytest.approx(1.5), "a"), (pytest.approx(2.0), "b")]
+
+    def test_average_usage(self):
+        env = Environment()
+        server = StorageServer(env, StorageSpec())
+        server.read(1000)
+        env.run()
+        assert server.average_usage(10.0) == pytest.approx(100.0)
+        assert server.average_usage(0.0) == 0.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            StorageSpec(bandwidth=0)
+        with pytest.raises(ValueError):
+            StorageSpec(latency=-1)
+
+
+class TestClusterSpec:
+    def test_homogeneous_builder(self):
+        spec = ClusterSpec.homogeneous(4, gpu="K40m", gpus_per_node=2)
+        assert spec.n_nodes == 4
+        assert spec.n_gpus == 8
+        assert all(ns.gpus == ("K40m", "K40m") for ns in spec.nodes)
+
+    def test_das5_heterogeneous_matches_paper(self):
+        """Section 6.5: 4 nodes, 7 GPUs, 4 generations."""
+        spec = ClusterSpec.das5_heterogeneous()
+        assert spec.n_nodes == 4
+        assert spec.n_gpus == 7
+        generations = {gpu_model(g).generation for ns in spec.nodes for g in ns.gpus}
+        assert generations == {"Kepler", "Maxwell", "Pascal", "Turing"}
+
+    def test_cartesius_nodes(self):
+        spec = ClusterSpec.cartesius(48)
+        assert spec.n_gpus == 96
+        assert spec.nodes[0].host_cache_bytes == pytest.approx(80e9)
+
+    def test_worker_topology(self):
+        spec = ClusterSpec.das5_heterogeneous()
+        topo = spec.worker_topology()
+        assert isinstance(topo, WorkerTopology)
+        assert topo.node_of == (0, 1, 1, 2, 2, 3, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=())
+        with pytest.raises(ValueError):
+            ClusterSpec.homogeneous(0)
+
+
+class TestSimCluster:
+    def test_local_transfer_is_free(self):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec.homogeneous(2))
+
+        def proc():
+            yield cluster.transfer(1, 1, 1e9)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 0.0
+
+    def test_remote_transfer_occupies_both_nics(self):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec.homogeneous(2))
+
+        def proc():
+            yield cluster.transfer(0, 1, 7.0e9)  # 1 second at 7 GB/s
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(1.0, rel=0.01)
+        assert cluster.nodes[0].nic_up.bytes_transferred == 7.0e9
+        assert cluster.nodes[1].nic_down.bytes_transferred == 7.0e9
+
+    def test_control_message_latency(self):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec.homogeneous(2))
+
+        def proc():
+            yield cluster.control_message(0, 1)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(cluster.spec.control_latency)
+
+    def test_node_index_validation(self):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec.homogeneous(2))
+        with pytest.raises(ValueError):
+            cluster.transfer(0, 5, 10)
+
+    def test_all_gpus_flat_order(self):
+        env = Environment()
+        cluster = SimCluster(env, ClusterSpec.das5_heterogeneous())
+        gpus = cluster.all_gpus()
+        assert len(gpus) == 7
+        assert gpus[0].model.name == "K20m"
+        assert gpus[-1].model.name == "TitanX Pascal"

@@ -1,0 +1,117 @@
+"""Unit tests for the distributed-cache protocol state."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.distributed import CandidateDirectory, HopStats, RequestOutcome, mediator_of
+
+
+class TestMediatorOf:
+    def test_modular_assignment(self):
+        assert mediator_of(0, 4) == 0
+        assert mediator_of(5, 4) == 1
+        assert mediator_of(7, 4) == 3
+
+    def test_single_node(self):
+        assert mediator_of(123, 1) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mediator_of(0, 0)
+        with pytest.raises(ValueError):
+            mediator_of(-1, 4)
+
+    @given(item=st.integers(0, 10_000), p=st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_always_a_valid_node(self, item, p):
+        assert 0 <= mediator_of(item, p) < p
+
+
+class TestCandidateDirectory:
+    def test_first_request_sees_empty_list(self):
+        d = CandidateDirectory(max_candidates=3)
+        assert d.lookup_and_record(7, requester=1) == []
+
+    def test_later_requests_see_most_recent_first(self):
+        d = CandidateDirectory(max_candidates=3)
+        d.lookup_and_record(7, 1)
+        d.lookup_and_record(7, 2)
+        assert d.lookup_and_record(7, 3) == [2, 1]
+        assert d.peek(7) == [3, 2, 1]
+
+    def test_bounded_by_h(self):
+        d = CandidateDirectory(max_candidates=2)
+        for node in range(5):
+            d.lookup_and_record(0, node)
+        assert d.peek(0) == [4, 3]
+
+    def test_duplicate_requester_moves_to_front(self):
+        d = CandidateDirectory(max_candidates=3)
+        for node in (1, 2, 1):
+            d.lookup_and_record(9, node)
+        assert d.peek(9) == [1, 2]
+
+    def test_items_independent(self):
+        d = CandidateDirectory(max_candidates=2)
+        d.lookup_and_record("a", 1)
+        d.lookup_and_record("b", 2)
+        assert d.peek("a") == [1]
+        assert d.peek("b") == [2]
+        assert d.tracked_items == 2
+        assert d.memory_entries() == 2
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            CandidateDirectory(0)
+
+    @given(
+        h=st.integers(1, 5),
+        requests=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 9)), max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_always_distinct_and_bounded(self, h, requests):
+        d = CandidateDirectory(h)
+        for item, node in requests:
+            result = d.lookup_and_record(item, node)
+            assert len(result) <= h
+            assert len(set(result)) == len(result)
+
+
+class TestHopStats:
+    def test_percentages_sum_to_100(self):
+        stats = HopStats(max_hops=3)
+        stats.record_hit(1)
+        stats.record_hit(1)
+        stats.record_hit(2)
+        stats.record_miss()
+        stats.record_miss(had_candidates=False)
+        pct = stats.percentages()
+        assert sum(pct.values()) == pytest.approx(100.0)
+        assert pct["hit at hop 1"] == pytest.approx(40.0)
+        assert pct["miss"] == pytest.approx(40.0)
+
+    def test_empty_percentages_zero(self):
+        stats = HopStats(max_hops=2)
+        assert all(v == 0.0 for v in stats.percentages().values())
+
+    def test_hop_bounds_enforced(self):
+        stats = HopStats(max_hops=2)
+        with pytest.raises(ValueError):
+            stats.record_hit(0)
+        with pytest.raises(ValueError):
+            stats.record_hit(3)
+
+    def test_counters(self):
+        stats = HopStats(max_hops=2)
+        stats.record_hit(2)
+        stats.record_miss()
+        assert stats.requests == 2
+        assert stats.total_hits == 1
+
+
+class TestRequestOutcome:
+    def test_defaults(self):
+        out = RequestOutcome(item=5, hit=False)
+        assert out.hop == 0
+        assert out.provider == -1

@@ -1,0 +1,346 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    all_of,
+    any_of,
+)
+
+
+class TestEvent:
+    def test_starts_pending(self):
+        env = Environment()
+        evt = env.event()
+        assert not evt.triggered
+        assert not evt.processed
+
+    def test_succeed_carries_value(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed(42)
+        assert evt.triggered
+        assert evt.value == 42
+        assert evt.ok
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed()
+        with pytest.raises(SimulationError):
+            evt.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        evt = env.event()
+        with pytest.raises(TypeError):
+            evt.fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        evt = env.event()
+        with pytest.raises(SimulationError):
+            _ = evt.value
+
+    def test_callback_after_processing_runs_immediately(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed("x")
+        env.run()
+        seen = []
+        evt.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_advances_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5.0)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 5.0
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeout_value_passthrough(self):
+        env = Environment()
+
+        def proc():
+            got = yield env.timeout(1.0, value="payload")
+            return got
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "payload"
+
+    def test_zero_delay_fires_same_time(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(0.0)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 0.0
+
+
+class TestProcess:
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+        marks = []
+
+        def proc():
+            yield env.timeout(1.0)
+            marks.append(env.now)
+            yield env.timeout(2.0)
+            marks.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert marks == [1.0, 3.0]
+
+    def test_join_returns_child_value(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(3.0)
+            return "done"
+
+        def parent():
+            result = yield env.process(child())
+            return (result, env.now)
+
+        p = env.process(parent())
+        env.run()
+        assert p.value == ("done", 3.0)
+
+    def test_exception_propagates_to_joiner(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            try:
+                yield env.process(child())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(parent())
+        env.run()
+        assert p.value == "caught boom"
+
+    def test_unhandled_failure_surfaces_in_run(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            raise ValueError("unhandled")
+
+        env.process(child())
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_yield_non_event_rejected(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(SimulationError, match="must yield Events"):
+            env.run()
+
+    def test_needs_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            Process(env, lambda: None)  # type: ignore[arg-type]
+
+    def test_interrupt_raises_inside_process(self):
+        env = Environment()
+        caught = []
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as i:
+                caught.append((env.now, i.cause))
+
+        def attacker(p):
+            yield env.timeout(2.0)
+            p.interrupt(cause="stop")
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        env.run()
+        assert caught == [(2.0, "stop")]
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1.0)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_is_alive_lifecycle(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+
+class TestRun:
+    def test_run_until_time_stops_clock(self):
+        env = Environment()
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run(until=4.5)
+        assert env.now == 4.5
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(2.0)
+            return "finished"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "finished"
+        assert env.now == 2.0
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_deadlock_detection(self):
+        env = Environment()
+
+        def waits_forever():
+            yield env.event()  # never triggered
+
+        p = env.process(waits_forever())
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=p)
+
+    def test_fifo_tie_breaking_is_deterministic(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_peek_empty_is_inf(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+
+    def test_step_empty_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+class TestConditions:
+    def test_all_of_collects_values(self):
+        env = Environment()
+
+        def proc():
+            events = [env.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+            values = yield all_of(env, events)
+            return (values, env.now)
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == ([3.0, 1.0, 2.0], 3.0)
+
+    def test_any_of_returns_first(self):
+        env = Environment()
+
+        def proc():
+            winner = yield any_of(env, [env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+            return (winner, env.now)
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == ("fast", 1.0)
+
+    def test_all_of_empty_succeeds_immediately(self):
+        env = Environment()
+
+        def proc():
+            value = yield all_of(env, [])
+            return value
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == []
+
+    def test_all_of_fails_on_constituent_failure(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise RuntimeError("child failed")
+
+        def proc():
+            try:
+                yield all_of(env, [env.timeout(5.0), env.process(failing())])
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "child failed"
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            env = Environment()
+            log = []
+
+            def worker(tag, delay):
+                for _ in range(5):
+                    yield env.timeout(delay)
+                    log.append((env.now, tag))
+
+            env.process(worker("a", 1.0))
+            env.process(worker("b", 1.5))
+            env.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,27 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example asserts its own domain-level success criterion (camera
+recovery, tree distance, registration quality, …), so executing them is
+a meaningful end-to-end check, not just an import test.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out or "work" in out  # every example prints a verdict
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 4  # quickstart + at least three domain examples

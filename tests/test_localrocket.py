@@ -1,0 +1,259 @@
+"""Integration tests for the threaded runtime and virtual devices."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache.policy import EvictionPolicy
+from repro.core.api import Application
+from repro.core.buffers import DeviceBuffer
+from repro.core.rocket import Rocket
+from repro.data.filestore import InMemoryStore
+from repro.runtime.devices import VirtualDevice
+from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
+
+
+class TestVirtualDevice:
+    def test_kernel_runs_and_wraps_result(self):
+        with VirtualDevice("gpu0") as dev:
+            buf = dev.h2d(np.arange(4.0))
+            out = dev.run_kernel(np.sum, buf)
+            assert isinstance(out, DeviceBuffer)
+            assert out.data == pytest.approx(6.0)
+            assert dev.kernel_count == 1
+            assert dev.kernel_seconds >= 0.0
+
+    def test_transfer_counters(self):
+        with VirtualDevice("gpu0") as dev:
+            arr = np.zeros(100, dtype=np.float64)
+            buf = dev.h2d(arr)
+            dev.d2h(buf)
+            assert dev.h2d_bytes == 800
+            assert dev.d2h_bytes == 800
+
+    def test_h2d_copies(self):
+        with VirtualDevice("gpu0") as dev:
+            arr = np.zeros(4)
+            buf = dev.h2d(arr)
+            arr[0] = 99.0
+            assert buf.data[0] == 0.0
+
+    def test_foreign_buffer_rejected(self):
+        with VirtualDevice("gpu0") as a, VirtualDevice("gpu1") as b:
+            buf = a.h2d(np.zeros(2))
+            with pytest.raises(RuntimeError, match="transfer is missing"):
+                b.run_kernel(np.sum, buf)
+            with pytest.raises(RuntimeError):
+                b.d2h(buf)
+
+    def test_speed_factor_pads_time(self):
+        import time
+
+        def busy(x):
+            t0 = time.perf_counter()
+            while time.perf_counter() - t0 < 0.01:
+                pass
+            return x
+
+        with VirtualDevice("slow", speed_factor=0.25) as slow:
+            t0 = time.perf_counter()
+            slow.run_kernel(busy, np.zeros(1))
+            elapsed = time.perf_counter() - t0
+        assert elapsed >= 0.035  # 10 ms padded ~4x
+
+    def test_shutdown_rejects_new_kernels(self):
+        dev = VirtualDevice("gpu0")
+        dev.shutdown()
+        with pytest.raises(RuntimeError):
+            dev.run_kernel(np.sum, np.zeros(1))
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            VirtualDevice("g", speed_factor=0.0)
+
+
+class SumApp(Application[str, float]):
+    """Deterministic toy app: compare = sum(a) * sum(b).
+
+    Every stage records invocation counts so tests can assert cache
+    behaviour precisely.
+    """
+
+    def __init__(self):
+        self.parse_calls = 0
+        self.preprocess_calls = 0
+        self._lock = threading.Lock()
+
+    def file_name(self, key):
+        return f"{key}.bin"
+
+    def parse(self, key, file_contents):
+        with self._lock:
+            self.parse_calls += 1
+        return np.frombuffer(file_contents, dtype=np.float64).copy()
+
+    def preprocess(self, key, parsed):
+        with self._lock:
+            self.preprocess_calls += 1
+        return parsed * 2.0
+
+    def compare(self, key_a, a, key_b, b):
+        return np.asarray(float(a.sum() * b.sum()))
+
+    def postprocess(self, key_a, key_b, raw):
+        return float(raw)
+
+
+def make_store(n):
+    store = InMemoryStore()
+    values = {}
+    for i in range(n):
+        key = f"item{i:02d}"
+        arr = np.full(8, float(i + 1))
+        store.write(f"{key}.bin", arr.tobytes())
+        values[key] = 2.0 * arr.sum()  # after preprocess
+    return store, values
+
+
+class TestLocalRocketRuntime:
+    def test_results_match_direct_computation(self):
+        n = 10
+        store, values = make_store(n)
+        app = SumApp()
+        rocket = Rocket(app, store, RocketConfig(n_devices=2, device_cache_slots=4, host_cache_slots=6, seed=1))
+        keys = sorted(values)
+        results = rocket.run(keys)
+        assert results.is_complete()
+        for i, a in enumerate(keys):
+            for b in keys[i + 1 :]:
+                assert results.get(a, b) == pytest.approx(values[a] * values[b])
+
+    def test_stats_populated(self):
+        store, values = make_store(8)
+        app = SumApp()
+        rocket = Rocket(app, store, RocketConfig(n_devices=2, device_cache_slots=4, host_cache_slots=8, seed=2))
+        rocket.run(sorted(values))
+        stats = rocket.last_stats
+        assert stats is not None
+        assert stats.n_pairs == 28
+        assert stats.loads >= 8
+        assert stats.reuse_factor >= 1.0
+        assert stats.io_bytes == stats.loads * 64
+        assert sum(stats.pairs_per_device.values()) == 28
+        assert "pairs" in stats.summary()
+
+    def test_parse_called_once_per_load(self):
+        store, values = make_store(6)
+        app = SumApp()
+        runtime = LocalRocketRuntime(app, store, RocketConfig(n_devices=1, device_cache_slots=6, host_cache_slots=6, seed=0))
+        runtime.run(sorted(values))
+        # Ample cache: each item loaded exactly once.
+        assert app.parse_calls == 6
+        assert app.preprocess_calls == 6
+        assert runtime.last_stats.reuse_factor == pytest.approx(1.0)
+
+    def test_tight_cache_forces_reloads(self):
+        store, values = make_store(10)
+        app = SumApp()
+        runtime = LocalRocketRuntime(
+            app, store, RocketConfig(n_devices=1, device_cache_slots=3, host_cache_slots=4, seed=0)
+        )
+        runtime.run(sorted(values))
+        assert app.parse_calls > 10  # reloads happened
+        assert runtime.last_stats.reuse_factor > 1.0
+
+    def test_single_device_single_job(self):
+        store, values = make_store(5)
+        app = SumApp()
+        runtime = LocalRocketRuntime(
+            app,
+            store,
+            RocketConfig(n_devices=1, concurrent_jobs=1, device_cache_slots=3, host_cache_slots=5),
+        )
+        results = runtime.run(sorted(values))
+        assert results.is_complete()
+
+    def test_heterogeneous_speed_factors(self):
+        store, values = make_store(8)
+        app = SumApp()
+        runtime = LocalRocketRuntime(
+            app,
+            store,
+            RocketConfig(
+                n_devices=2,
+                device_speed_factors=(1.0, 0.25),
+                device_cache_slots=8,
+                host_cache_slots=8,
+                seed=3,
+            ),
+        )
+        results = runtime.run(sorted(values))
+        assert results.is_complete()
+        stats = runtime.last_stats
+        assert sum(stats.pairs_per_device.values()) == 28
+
+    def test_parse_error_propagates(self):
+        store, values = make_store(4)
+        store.write("item02.bin", b"short")  # corrupt: not a multiple of 8
+
+        class BadApp(SumApp):
+            def parse(self, key, file_contents):
+                if len(file_contents) % 8:
+                    raise ValueError(f"corrupt file for {key}")
+                return super().parse(key, file_contents)
+
+        runtime = LocalRocketRuntime(BadApp(), store, RocketConfig(n_devices=1, watchdog_seconds=30))
+        with pytest.raises(ValueError, match="corrupt file"):
+            runtime.run(sorted(values))
+
+    def test_missing_file_propagates(self):
+        store, values = make_store(3)
+        app = SumApp()
+        runtime = LocalRocketRuntime(app, store, RocketConfig(n_devices=1, watchdog_seconds=30))
+        with pytest.raises(KeyError):
+            runtime.run(sorted(values) + ["ghost"])
+
+    def test_eviction_policy_configurable(self):
+        store, values = make_store(8)
+        app = SumApp()
+        runtime = LocalRocketRuntime(
+            app,
+            store,
+            RocketConfig(n_devices=1, device_cache_slots=3, host_cache_slots=4, eviction=EvictionPolicy.FIFO),
+        )
+        assert runtime.run(sorted(values)).is_complete()
+
+    def test_profiling_trace(self):
+        store, values = make_store(5)
+        app = SumApp()
+        runtime = LocalRocketRuntime(
+            app, store, RocketConfig(n_devices=1, profiling=True, seed=0)
+        )
+        runtime.run(sorted(values))
+        trace = runtime.last_stats.trace
+        assert trace is not None
+        assert "CPU" in trace.lanes()
+        assert trace.busy_time("IO") >= 0.0
+
+    def test_determinism_of_results(self):
+        """Values (not timings) must be identical across runs."""
+        store, values = make_store(7)
+        keys = sorted(values)
+
+        def collect():
+            app = SumApp()
+            runtime = LocalRocketRuntime(
+                app, store, RocketConfig(n_devices=2, device_cache_slots=4, host_cache_slots=5, seed=5)
+            )
+            return [v for _, _, v in runtime.run(keys).items()]
+
+        assert collect() == collect()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RocketConfig(n_devices=0)
+        with pytest.raises(ValueError):
+            RocketConfig(device_speed_factors=(1.0,), n_devices=2)
+        with pytest.raises(ValueError):
+            RocketConfig(watchdog_seconds=0)

@@ -1,0 +1,105 @@
+"""Unit tests for the Section 6.1 performance model."""
+
+import pytest
+
+from repro.model.perfmodel import PerformanceModel, system_efficiency, t_cpu, t_gpu, t_io, t_min
+from repro.sim.workload import FORENSICS, MICROSCOPY, WorkloadProfile
+
+
+def toy_profile(**overrides):
+    base = dict(
+        name="toy",
+        n_items=10,
+        file_size=1e6,
+        slot_size=1e6,
+        result_size=8,
+        t_parse=(0.1, 0.0),
+        t_preprocess=(0.02, 0.0),
+        t_compare=(0.001, 0.0),
+        t_postprocess=(0.005, 0.0),
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+class TestEquations:
+    def test_t_gpu_formula(self):
+        p = toy_profile()
+        # R=2: 2*10*0.02 + 45*0.001
+        assert t_gpu(p, reuse=2.0) == pytest.approx(0.4 + 0.045)
+
+    def test_t_gpu_speed_scaling(self):
+        p = toy_profile()
+        assert t_gpu(p, speed=2.0) == pytest.approx(t_gpu(p) / 2.0)
+
+    def test_t_cpu_formula(self):
+        p = toy_profile()
+        assert t_cpu(p, reuse=1.0) == pytest.approx(10 * 0.1 + 45 * 0.005)
+        assert t_cpu(p, reuse=1.0, cores=4) == pytest.approx((10 * 0.1 + 45 * 0.005) / 4)
+
+    def test_t_io_formula(self):
+        p = toy_profile()
+        assert t_io(p, bandwidth=1e6, reuse=3.0) == pytest.approx(3 * 10 * 1.0)
+
+    def test_t_min_is_gpu_at_perfect_reuse(self):
+        p = toy_profile()
+        assert t_min(p) == pytest.approx(t_gpu(p, reuse=1.0))
+
+    def test_reuse_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            t_gpu(toy_profile(), reuse=0.5)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            t_io(toy_profile(), bandwidth=0.0)
+
+
+class TestEfficiency:
+    def test_perfect_run_is_100_percent(self):
+        p = toy_profile()
+        assert system_efficiency(p, t_min(p)) == pytest.approx(1.0)
+
+    def test_p_nodes_divides_bound(self):
+        p = toy_profile()
+        # Running in T_min/4 on aggregate speed 4 is 100% efficient.
+        assert system_efficiency(p, t_min(p) / 4.0, aggregate_speed=4.0) == pytest.approx(1.0)
+
+    def test_slower_run_lower_efficiency(self):
+        p = toy_profile()
+        assert system_efficiency(p, 2 * t_min(p)) == pytest.approx(0.5)
+
+    def test_invalid_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            system_efficiency(toy_profile(), 0.0)
+
+
+class TestPerformanceModel:
+    def test_bottleneck_identification(self):
+        # Microscopy is GPU-bound; forensics at huge R with tiny IO
+        # bandwidth becomes IO-bound.
+        gpu_model = PerformanceModel(MICROSCOPY)
+        assert gpu_model.bottleneck(reuse=1.0) == "gpu"
+        io_model = PerformanceModel(FORENSICS, io_bandwidth=1e5)
+        assert io_model.bottleneck(reuse=5.0) == "io"
+
+    def test_predicted_runtime_is_max_of_totals(self):
+        m = PerformanceModel(toy_profile(), cpu_cores=1)
+        r = 2.0
+        expected = max(
+            t_gpu(m.profile, r),
+            t_cpu(m.profile, r, 1),
+            t_io(m.profile, m.io_bandwidth, r),
+        )
+        assert m.predicted_runtime(r) == pytest.approx(expected)
+
+    def test_efficiency_wrapper(self):
+        m = PerformanceModel(toy_profile())
+        assert m.efficiency(m.lower_bound()) == pytest.approx(1.0)
+
+    def test_paper_forensics_numbers(self):
+        """Sanity vs the paper: forensics T_min ~ 3.9 hours on a TitanX.
+
+        n*t_pre + C(n,2)*t_cmp = 4980*0.0205 + 12397710*0.0011 ~ 13740 s.
+        """
+        bound = t_min(FORENSICS)
+        assert bound == pytest.approx(13740, rel=0.01)

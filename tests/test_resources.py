@@ -1,0 +1,298 @@
+"""Unit tests for simulation resources: Resource, Store, links, servers."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import (
+    BandwidthLink,
+    Mailbox,
+    Resource,
+    SerialServer,
+    Store,
+    coupled_transfer,
+)
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        granted = []
+
+        def proc(tag):
+            yield res.request()
+            granted.append((env.now, tag))
+            yield env.timeout(10.0)
+            res.release()
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        # a and b granted immediately, c waits until one releases at t=10.
+        assert granted == [(0.0, "a"), (0.0, "b"), (10.0, "c")]
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def proc(tag):
+            yield res.request()
+            order.append(tag)
+            yield env.timeout(1.0)
+            res.release()
+
+        for tag in "abcd":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_release_idle_rejected(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_busy_time_accounting(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def proc():
+            yield env.timeout(5.0)
+            yield res.request()
+            yield env.timeout(3.0)
+            res.release()
+
+        env.process(proc())
+        env.run()
+        assert res.busy_time() == pytest.approx(3.0)
+
+    def test_using_releases_on_completion(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def proc():
+            result = yield from res.using(lambda: env.timeout(2.0, value="ok"))
+            return result
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "ok"
+        assert res.in_use == 0
+
+    def test_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 2
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+
+        def proc():
+            item = yield store.get()
+            return item
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer():
+            item = yield store.get()
+            return (item, env.now)
+
+        def producer():
+            yield env.timeout(4.0)
+            store.put("late")
+
+        p = env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert p.value == ("late", 4.0)
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def proc():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(proc())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_mailbox_owner(self):
+        env = Environment()
+        mbox = Mailbox(env, owner="node3")
+        assert mbox.owner == "node3"
+        assert "node3" in mbox.name
+
+
+class TestBandwidthLink:
+    def test_transfer_time_formula(self):
+        env = Environment()
+        link = BandwidthLink(env, bandwidth=100.0, latency=0.5)
+        assert link.transfer_time(1000) == pytest.approx(0.5 + 10.0)
+
+    def test_single_transfer_duration(self):
+        env = Environment()
+        link = BandwidthLink(env, bandwidth=1000.0)
+
+        def proc():
+            yield link.transfer(500)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(0.5)
+
+    def test_fifo_serialisation(self):
+        env = Environment()
+        link = BandwidthLink(env, bandwidth=100.0)
+        done = []
+
+        def proc(tag, nbytes):
+            yield link.transfer(nbytes)
+            done.append((env.now, tag))
+
+        env.process(proc("a", 100))  # 1s
+        env.process(proc("b", 200))  # queued: finishes at 3s
+        env.run()
+        assert done == [(pytest.approx(1.0), "a"), (pytest.approx(3.0), "b")]
+
+    def test_counters(self):
+        env = Environment()
+        link = BandwidthLink(env, bandwidth=10.0)
+        link.transfer(50)
+        link.transfer(30)
+        env.run()
+        assert link.bytes_transferred == 80
+        assert link.transfer_count == 2
+        assert link.busy_time() == pytest.approx(8.0)
+
+    def test_negative_size_rejected(self):
+        env = Environment()
+        link = BandwidthLink(env, bandwidth=10.0)
+        with pytest.raises(ValueError):
+            link.transfer(-1)
+
+    def test_invalid_bandwidth_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            BandwidthLink(env, bandwidth=0)
+
+    def test_backlog(self):
+        env = Environment()
+        link = BandwidthLink(env, bandwidth=1.0)
+        link.transfer(10)
+        assert link.backlog == pytest.approx(10.0)
+
+
+class TestSerialServer:
+    def test_serialises_jobs(self):
+        env = Environment()
+        server = SerialServer(env)
+        intervals = []
+
+        def proc(duration):
+            interval = yield server.execute(duration)
+            intervals.append(interval)
+
+        env.process(proc(2.0))
+        env.process(proc(3.0))
+        env.run()
+        assert intervals == [(0.0, 2.0), (2.0, 5.0)]
+        assert server.busy_time() == pytest.approx(5.0)
+        assert server.jobs_executed == 2
+
+    def test_negative_service_rejected(self):
+        env = Environment()
+        server = SerialServer(env)
+        with pytest.raises(ValueError):
+            server.execute(-0.1)
+
+    def test_idle_gap_not_counted_busy(self):
+        env = Environment()
+        server = SerialServer(env)
+
+        def proc():
+            yield server.execute(1.0)
+            yield env.timeout(10.0)
+            interval = yield server.execute(1.0)
+            return interval
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (11.0, 12.0)
+        assert server.busy_time() == pytest.approx(2.0)
+
+
+class TestCoupledTransfer:
+    def test_occupies_both_links(self):
+        env = Environment()
+        a = BandwidthLink(env, bandwidth=100.0)
+        b = BandwidthLink(env, bandwidth=100.0)
+
+        def proc():
+            yield coupled_transfer(env, [a, b], 200)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(2.0)
+        assert a.bytes_transferred == b.bytes_transferred == 200
+
+    def test_starts_when_slowest_side_frees(self):
+        env = Environment()
+        a = BandwidthLink(env, bandwidth=100.0)
+        b = BandwidthLink(env, bandwidth=100.0)
+        a.transfer(300)  # a busy until t=3
+
+        def proc():
+            interval = yield coupled_transfer(env, [a, b], 100)
+            return interval
+
+        p = env.process(proc())
+        env.run()
+        start, end = p.value
+        assert start == pytest.approx(3.0)
+        assert end == pytest.approx(4.0)
+
+    def test_uses_slowest_link_bandwidth(self):
+        env = Environment()
+        fast = BandwidthLink(env, bandwidth=1000.0)
+        slow = BandwidthLink(env, bandwidth=10.0)
+
+        def proc():
+            yield coupled_transfer(env, [fast, slow], 100)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(10.0)
+
+    def test_needs_links(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            coupled_transfer(env, [], 10)

@@ -1,0 +1,279 @@
+"""Integration tests for the simulated Rocket runtime.
+
+These assert the *paper-level behaviours*: completeness, the data-reuse
+invariants of the three-level cache, the distributed cache's effect on
+R and I/O, work-stealing balance on heterogeneous platforms, and full
+determinism of simulated results.
+"""
+
+import pytest
+
+from repro.cache.policy import EvictionPolicy
+from repro.sim.cluster import ClusterSpec
+from repro.sim.rocketsim import RocketSim, RocketSimConfig, run_simulation
+from repro.sim.workload import BIOINFORMATICS, FORENSICS, MICROSCOPY, scaled_profile
+
+
+def small_forensics(n=60):
+    return scaled_profile(FORENSICS, n)
+
+
+def quick_config(**kw):
+    defaults = dict(seed=1, device_cache_slots=12, host_cache_slots=24)
+    defaults.update(kw)
+    return RocketSimConfig(**defaults)
+
+
+class TestBasicRun:
+    def test_all_pairs_completed(self):
+        prof = small_forensics(30)
+        rep = run_simulation(ClusterSpec.homogeneous(1), prof, quick_config())
+        assert rep.n_pairs == 30 * 29 // 2
+        assert sum(rep.pairs_per_gpu.values()) == rep.n_pairs
+        assert rep.runtime > 0
+
+    def test_reuse_factor_at_least_one(self):
+        prof = small_forensics(30)
+        rep = run_simulation(ClusterSpec.homogeneous(1), prof, quick_config())
+        assert rep.reuse_factor >= 1.0
+        assert rep.total_loads >= prof.n_items
+
+    def test_loads_match_per_node_sum(self):
+        prof = small_forensics(40)
+        rep = run_simulation(ClusterSpec.homogeneous(4), prof, quick_config())
+        assert sum(rep.per_node_loads) == rep.total_loads
+
+    def test_single_use_guard(self):
+        prof = small_forensics(10)
+        sim = RocketSim(ClusterSpec.homogeneous(1), prof.instantiate(0), quick_config())
+        sim.run()
+        with pytest.raises(Exception):
+            sim.run()
+
+    def test_ample_cache_gives_perfect_reuse_single_node(self):
+        """With every item fitting in the host cache, R must be exactly 1."""
+        prof = small_forensics(24)
+        rep = run_simulation(
+            ClusterSpec.homogeneous(1),
+            prof,
+            quick_config(device_cache_slots=24, host_cache_slots=24),
+        )
+        assert rep.reuse_factor == pytest.approx(1.0)
+        assert rep.device_counters.evictions == 0
+
+    def test_summary_mentions_key_metrics(self):
+        rep = run_simulation(ClusterSpec.homogeneous(1), small_forensics(16), quick_config())
+        text = rep.summary()
+        assert "R =" in text and "efficiency" in text
+
+    def test_storage_bytes_match_loads(self):
+        prof = small_forensics(30)
+        rep = run_simulation(ClusterSpec.homogeneous(1), prof, quick_config())
+        # Every load reads one file of ~file_size (+-20%).
+        low = rep.total_loads * prof.file_size * 0.8
+        high = rep.total_loads * prof.file_size * 1.2
+        assert low <= rep.storage_bytes <= high
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        prof = small_forensics(30)
+        spec = ClusterSpec.homogeneous(3)
+        r1 = run_simulation(spec, prof, quick_config(seed=5))
+        r2 = run_simulation(spec, prof, quick_config(seed=5))
+        assert r1.runtime == r2.runtime
+        assert r1.total_loads == r2.total_loads
+        assert r1.pairs_per_gpu == r2.pairs_per_gpu
+        assert r1.hop_stats.hits_at_hop == r2.hop_stats.hits_at_hop
+        assert r1.local_steals == r2.local_steals
+
+    def test_different_seed_changes_schedule(self):
+        prof = small_forensics(30)
+        spec = ClusterSpec.homogeneous(3)
+        r1 = run_simulation(spec, prof, quick_config(seed=5))
+        r2 = run_simulation(spec, prof, quick_config(seed=6))
+        # Work-stealing victim order changes; run time may coincide but
+        # the full fingerprint should not.
+        fp1 = (r1.runtime, tuple(sorted(r1.pairs_per_gpu.items())), r1.total_loads)
+        fp2 = (r2.runtime, tuple(sorted(r2.pairs_per_gpu.items())), r2.total_loads)
+        assert fp1 != fp2
+
+
+class TestDistributedCache:
+    def test_distributed_cache_reduces_loads(self):
+        prof = small_forensics(48)
+        spec = ClusterSpec.homogeneous(6)
+        with_dc = run_simulation(spec, prof, quick_config(distributed_cache=True))
+        without = run_simulation(spec, prof, quick_config(distributed_cache=False))
+        assert with_dc.reuse_factor < without.reuse_factor
+        assert with_dc.storage_bytes < without.storage_bytes
+
+    def test_no_protocol_traffic_when_disabled(self):
+        prof = small_forensics(30)
+        rep = run_simulation(
+            ClusterSpec.homogeneous(4), prof, quick_config(distributed_cache=False)
+        )
+        assert rep.hop_stats.requests == 0
+        assert rep.remote_fetch_bytes == 0
+
+    def test_no_protocol_traffic_on_single_node(self):
+        rep = run_simulation(ClusterSpec.homogeneous(1), small_forensics(20), quick_config())
+        assert rep.hop_stats.requests == 0
+
+    def test_hop_stats_accounting_consistent(self):
+        prof = small_forensics(48)
+        rep = run_simulation(ClusterSpec.homogeneous(6), prof, quick_config(max_hops=3))
+        stats = rep.hop_stats
+        assert stats.requests == stats.total_hits + stats.misses + stats.no_candidates
+        assert sum(stats.percentages().values()) == pytest.approx(100.0)
+
+    def test_most_hits_at_first_hop(self):
+        """Fig. 11's headline: hop 1 dominates the later hops."""
+        prof = small_forensics(60)
+        rep = run_simulation(ClusterSpec.homogeneous(8), prof, quick_config(max_hops=3))
+        hits = rep.hop_stats.hits_at_hop
+        assert hits[0] > hits[1] + hits[2]
+
+    def test_remote_fetches_do_not_count_as_loads(self):
+        """A distributed-cache hit avoids a load; R reflects that."""
+        prof = small_forensics(48)
+        spec = ClusterSpec.homogeneous(6)
+        rep = run_simulation(spec, prof, quick_config())
+        if rep.hop_stats.total_hits > 0:
+            assert rep.remote_fetch_bytes > 0
+            # Loads + remote hits >= total host-cache fills needed.
+            assert rep.total_loads < rep.total_loads + rep.hop_stats.total_hits
+
+
+class TestScalingBehaviour:
+    def test_more_nodes_faster(self):
+        prof = small_forensics(48)
+        t1 = run_simulation(ClusterSpec.homogeneous(1), prof, quick_config()).runtime
+        t4 = run_simulation(ClusterSpec.homogeneous(4), prof, quick_config()).runtime
+        assert t4 < t1 / 2.5
+
+    def test_super_linear_regime_with_distributed_cache(self):
+        """The paper's headline result, at reduced scale.
+
+        With the distributed cache the combined memory of 4 nodes holds
+        far more items than one node, so R drops and speedup exceeds
+        the node count (or at least clearly beats the no-cache setup).
+        """
+        prof = scaled_profile(FORENSICS, 96)
+        cfg = dict(device_cache_slots=6, host_cache_slots=20, seed=2)
+        t1 = run_simulation(ClusterSpec.homogeneous(1), prof, RocketSimConfig(**cfg)).runtime
+        with_dc = run_simulation(
+            ClusterSpec.homogeneous(4), prof, RocketSimConfig(distributed_cache=True, **cfg)
+        )
+        without = run_simulation(
+            ClusterSpec.homogeneous(4), prof, RocketSimConfig(distributed_cache=False, **cfg)
+        )
+        assert with_dc.runtime < without.runtime
+        assert t1 / with_dc.runtime > t1 / without.runtime
+
+    def test_compute_bound_app_scales_without_cache_effects(self):
+        prof = scaled_profile(MICROSCOPY, 24)
+        t1 = run_simulation(ClusterSpec.homogeneous(1), prof, quick_config()).runtime
+        t4 = run_simulation(ClusterSpec.homogeneous(4), prof, quick_config()).runtime
+        assert 2.8 < t1 / t4 < 5.0
+
+    def test_efficiency_in_sane_band(self):
+        prof = scaled_profile(FORENSICS, 150)
+        rep = run_simulation(
+            ClusterSpec.homogeneous(1),
+            prof,
+            RocketSimConfig(seed=1, device_cache_slots=9, host_cache_slots=32),
+        )
+        assert 0.6 < rep.efficiency < 1.1
+
+
+class TestHeterogeneity:
+    def test_faster_gpus_do_more_pairs(self):
+        prof = scaled_profile(MICROSCOPY, 28)
+        spec = ClusterSpec.das5_heterogeneous()
+        rep = run_simulation(spec, prof, quick_config(seed=3))
+        by_model = {}
+        for lane, pairs in rep.pairs_per_gpu.items():
+            model = lane.split("(")[1].rstrip(")")
+            by_model.setdefault(model, []).append(pairs)
+        # The RTX 2080 Ti must clearly out-process the K20m.
+        assert min(by_model["RTX2080Ti"]) > max(by_model["K20m"])
+
+    def test_stealing_spreads_work_from_master_node(self):
+        prof = small_forensics(40)
+        rep = run_simulation(ClusterSpec.homogeneous(4), prof, quick_config())
+        assert rep.remote_steals > 0
+        # Every node ends up doing some comparisons.
+        assert all(v > 0 for v in rep.pairs_per_gpu.values())
+
+
+class TestConfigKnobs:
+    def test_eviction_policy_changes_results(self):
+        prof = small_forensics(60)
+        lru = run_simulation(
+            ClusterSpec.homogeneous(1), prof, quick_config(eviction=EvictionPolicy.LRU)
+        )
+        rnd = run_simulation(
+            ClusterSpec.homogeneous(1), prof, quick_config(eviction=EvictionPolicy.RANDOM)
+        )
+        # LRU should not lose to RANDOM on this reuse-heavy pattern.
+        assert lru.reuse_factor <= rnd.reuse_factor * 1.05
+
+    def test_profiling_records_trace(self):
+        rep = run_simulation(
+            ClusterSpec.homogeneous(1), small_forensics(16), quick_config(profiling=True)
+        )
+        assert rep.trace is not None
+        lanes = rep.trace.lanes()
+        assert any("GPU" in lane for lane in lanes)
+        assert any("CPU" in lane for lane in lanes)
+        assert any("IO" in lane for lane in lanes)
+
+    def test_throughput_series_recorded(self):
+        rep = run_simulation(
+            ClusterSpec.homogeneous(2),
+            small_forensics(24),
+            quick_config(record_throughput=True),
+        )
+        assert rep.throughput_series
+        assert sum(s.count for s in rep.throughput_series.values()) == rep.n_pairs
+
+    def test_leaf_size_does_not_change_completeness(self):
+        prof = small_forensics(24)
+        for leaf in (1, 4, 16):
+            rep = run_simulation(ClusterSpec.homogeneous(2), prof, quick_config(leaf_size=leaf))
+            assert sum(rep.pairs_per_gpu.values()) == prof.n_pairs
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RocketSimConfig(max_hops=0)
+        with pytest.raises(ValueError):
+            RocketSimConfig(concurrent_jobs=0)
+        with pytest.raises(ValueError):
+            RocketSimConfig(leaf_size=0)
+
+    def test_too_small_device_cache_rejected(self):
+        prof = small_forensics(20)
+        with pytest.raises(ValueError, match="at least 2"):
+            run_simulation(
+                ClusterSpec.homogeneous(1), prof, RocketSimConfig(device_cache_slots=1)
+            )
+
+
+class TestGpuBusyAccounting:
+    def test_gpu_busy_split_covers_work(self):
+        prof = small_forensics(30)
+        rep = run_simulation(ClusterSpec.homogeneous(1), prof, quick_config())
+        busy = next(iter(rep.gpu_busy.values()))
+        # Comparison busy ~ n_pairs * mean compare time (regular kernel).
+        expected_cmp = rep.n_pairs * prof.t_compare[0]
+        assert busy["compare"] == pytest.approx(expected_cmp, rel=0.1)
+        # Pre-process busy ~ loads * mean preprocess time.
+        expected_pre = rep.total_loads * prof.t_preprocess[0]
+        assert busy["preprocess"] == pytest.approx(expected_pre, rel=0.15)
+
+    def test_runtime_at_least_gpu_busy(self):
+        prof = small_forensics(30)
+        rep = run_simulation(ClusterSpec.homogeneous(1), prof, quick_config())
+        busy = next(iter(rep.gpu_busy.values()))
+        assert rep.runtime >= busy["compare"] + busy["preprocess"] - 1e-9

@@ -1,0 +1,92 @@
+"""Property-based invariants of the simulated Rocket runtime.
+
+Hypothesis drives small random configurations through full simulated
+runs and checks the invariants that must hold for *any* valid
+configuration — the strongest guard against scheduler/cache bugs that
+only appear under odd slot/node/job-limit combinations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cluster import ClusterSpec
+from repro.sim.rocketsim import RocketSimConfig, run_simulation
+from repro.sim.workload import FORENSICS, MICROSCOPY, scaled_profile
+
+configs = st.fixed_dictionaries(
+    {
+        "n_items": st.integers(8, 28),
+        "n_nodes": st.integers(1, 5),
+        "gpus_per_node": st.integers(1, 2),
+        "device_slots": st.integers(2, 10),
+        "host_slots": st.integers(3, 16),
+        "concurrent_jobs": st.integers(1, 24),
+        "leaf_size": st.integers(1, 6),
+        "max_hops": st.integers(1, 3),
+        "distributed": st.booleans(),
+        "warm": st.booleans(),
+        "cache_aware": st.booleans(),
+        "seed": st.integers(0, 2**16),
+    }
+)
+
+
+@given(cfg=configs)
+@settings(max_examples=25, deadline=None)
+def test_any_configuration_completes_with_sane_invariants(cfg):
+    profile = scaled_profile(FORENSICS, cfg["n_items"])
+    spec = ClusterSpec.homogeneous(cfg["n_nodes"], gpus_per_node=cfg["gpus_per_node"])
+    config = RocketSimConfig(
+        device_cache_slots=cfg["device_slots"],
+        host_cache_slots=cfg["host_slots"],
+        concurrent_jobs=cfg["concurrent_jobs"],
+        leaf_size=cfg["leaf_size"],
+        max_hops=cfg["max_hops"],
+        distributed_cache=cfg["distributed"],
+        warm_host_caches=cfg["warm"],
+        cache_aware_stealing=cfg["cache_aware"],
+        seed=cfg["seed"],
+    )
+    report = run_simulation(spec, profile, config, seed=cfg["seed"])
+
+    # 1. Completeness: every pair computed exactly once.
+    assert sum(report.pairs_per_gpu.values()) == profile.n_pairs
+    # 2. Non-negative monotone clock.
+    assert report.runtime > 0
+    # 3. Load accounting: per-node loads sum to the total; without a
+    #    warm start every item is loaded at least once somewhere.
+    assert sum(report.per_node_loads) == report.total_loads
+    if not cfg["warm"]:
+        assert report.total_loads >= profile.n_items
+    # 4. Storage traffic matches loads (files are 0.8-1.2x mean size).
+    assert report.storage_bytes <= report.total_loads * profile.file_size * 1.25
+    # 5. Efficiency is positive and bounded by a sane constant.
+    assert 0 < report.efficiency < 1.6
+    # 6. Distributed-cache accounting is internally consistent.
+    hs = report.hop_stats
+    assert hs.total_hits + hs.misses + hs.no_candidates == hs.requests
+    if not cfg["distributed"] or cfg["n_nodes"] == 1:
+        assert hs.requests == 0
+    # 7. GPU busy time never exceeds the run time per GPU.
+    for lane, busy in report.gpu_busy.items():
+        assert busy["preprocess"] + busy["compare"] <= report.runtime * 1.0000001
+
+
+@given(
+    n_items=st.integers(6, 16),
+    n_nodes=st.integers(1, 3),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_simulation_is_a_pure_function_of_its_inputs(n_items, n_nodes, seed):
+    profile = scaled_profile(MICROSCOPY, n_items)
+    spec = ClusterSpec.homogeneous(n_nodes)
+    config = RocketSimConfig(seed=seed, device_cache_slots=6, host_cache_slots=8)
+    a = run_simulation(spec, profile, config, seed=seed)
+    b = run_simulation(spec, profile, config, seed=seed)
+    assert a.runtime == b.runtime
+    assert a.total_loads == b.total_loads
+    assert a.pairs_per_gpu == b.pairs_per_gpu
+    assert a.local_steals == b.local_steals
+    assert a.remote_steals == b.remote_steals
+    assert a.storage_bytes == b.storage_bytes

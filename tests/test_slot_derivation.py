@@ -1,0 +1,91 @@
+"""Default cache sizing must reproduce Table 1's slot counts.
+
+The paper derives its cache configuration from hardware capacities:
+an 11 GB device cache on the 12 GB TitanX Maxwell and a 40 GB host
+cache on the 64 GB DAS-5 nodes.  With no explicit slot counts in the
+config, `RocketSim` derives them from (GPU memory, host cache bytes,
+workload slot size) — and at full workload scale the derived numbers
+must match the paper's Table 1.
+"""
+
+import pytest
+
+from repro.sim.cluster import ClusterSpec
+from repro.sim.rocketsim import RocketSim, RocketSimConfig
+from repro.sim.workload import BIOINFORMATICS, FORENSICS, MICROSCOPY
+
+
+def build_sim(profile):
+    # Never run (the full workloads are far too large to simulate);
+    # construction alone performs the slot derivation.
+    return RocketSim(ClusterSpec.homogeneous(1), profile.instantiate(0), RocketSimConfig())
+
+
+class TestDerivedSlotCounts:
+    def test_forensics_table1_slots(self):
+        sim = build_sim(FORENSICS)
+        dev = sim.gpus[0].device_cache.n_slots
+        host = sim.nodes[0].host_cache.n_slots
+        # Paper: 291 device slots, 1050 host slots.
+        assert dev == pytest.approx(291, rel=0.02)
+        assert host == pytest.approx(1050, rel=0.02)
+
+    def test_bioinformatics_table1_slots(self):
+        sim = build_sim(BIOINFORMATICS)
+        dev = sim.gpus[0].device_cache.n_slots
+        host = sim.nodes[0].host_cache.n_slots
+        # Paper: 81 device slots, 280 host slots.
+        assert dev == pytest.approx(81, rel=0.1)
+        assert host == pytest.approx(280, rel=0.05)
+
+    def test_microscopy_capped_at_item_count(self):
+        sim = build_sim(MICROSCOPY)
+        # Paper: 256/256 — the tiny 6 KB slots would allow millions, but
+        # no more slots than items are ever useful.
+        assert sim.gpus[0].device_cache.n_slots == 256
+        assert sim.nodes[0].host_cache.n_slots == 256
+
+    def test_explicit_slots_override_derivation(self):
+        sim = RocketSim(
+            ClusterSpec.homogeneous(1),
+            MICROSCOPY.instantiate(0),
+            RocketSimConfig(device_cache_slots=7, host_cache_slots=9),
+        )
+        assert sim.gpus[0].device_cache.n_slots == 7
+        assert sim.nodes[0].host_cache.n_slots == 9
+
+    def test_admission_respects_derived_slots(self):
+        sim = RocketSim(
+            ClusterSpec.homogeneous(1),
+            MICROSCOPY.instantiate(0),
+            RocketSimConfig(device_cache_slots=5, host_cache_slots=9, concurrent_jobs=100),
+        )
+        # safe_job_limit: at most device_slots - 1 jobs in flight.
+        assert sim.gpus[0].admission.limit == 4
+
+    def test_small_gpu_big_slots_rejected(self):
+        """A K20m (5 GB) cannot cache 145.8 MB bioinformatics slots 2x?
+
+        It can (31 slots) — but a hypothetical giant slot must raise.
+        """
+        from dataclasses import replace
+
+        giant = replace(BIOINFORMATICS, slot_size=4e9)
+        with pytest.raises(ValueError, match="at least 2"):
+            RocketSim(
+                ClusterSpec.homogeneous(1, gpu="K20m"),
+                giant.instantiate(0),
+                RocketSimConfig(),
+            )
+
+    def test_per_gpu_derivation_follows_memory(self):
+        """On a mixed node, each GPU's cache follows its own memory."""
+        from repro.sim.cluster import ClusterSpec as CS
+        from repro.sim.node import NodeSpec
+
+        spec = CS(nodes=(NodeSpec(gpus=("GTX980", "TitanX Maxwell")),))
+        sim = RocketSim(spec, FORENSICS.instantiate(0), RocketSimConfig())
+        slots_980 = sim.gpus[0].device_cache.n_slots
+        slots_titan = sim.gpus[1].device_cache.n_slots
+        assert slots_980 < slots_titan  # 4 GB vs 12 GB
+        assert slots_titan == pytest.approx(291, rel=0.02)

@@ -1,0 +1,259 @@
+"""Unit and property tests for the slot caches (device/host levels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policy import EvictionPolicy
+from repro.cache.slots import Slot, SlotCache, SlotState
+
+
+def fill_published(cache: SlotCache, keys):
+    """Reserve and immediately publish each key."""
+    for key in keys:
+        slot = cache.reserve(key)
+        assert slot is not None, f"no slot for {key}"
+        cache.publish(slot)
+
+
+class TestBasicFlow:
+    def test_miss_then_reserve_then_publish_then_hit(self):
+        cache = SlotCache(2)
+        assert cache.lookup("a") is None
+        slot = cache.reserve("a")
+        assert slot is not None
+        assert slot.state is SlotState.WRITE
+        cache.publish(slot, payload="data")
+        hit = cache.lookup("a")
+        assert hit is slot
+        assert hit.state is SlotState.READ
+        assert hit.payload == "data"
+
+    def test_lookup_counts_outcomes(self):
+        cache = SlotCache(2)
+        cache.lookup("a")  # miss
+        slot = cache.reserve("a")
+        cache.lookup("a")  # hit while writing
+        cache.publish(slot)
+        cache.lookup("a")  # hit
+        c = cache.counters
+        assert (c.misses, c.hits_while_writing, c.hits) == (1, 1, 1)
+        assert c.requests == 3
+        assert 0.0 < c.hit_ratio() < 1.0
+
+    def test_peek_does_not_count(self):
+        cache = SlotCache(2)
+        cache.peek("a")
+        assert cache.counters.requests == 0
+
+    def test_reserve_resident_key_rejected(self):
+        cache = SlotCache(2)
+        slot = cache.reserve("a")
+        cache.publish(slot)
+        with pytest.raises(ValueError):
+            cache.reserve("a")
+
+    def test_publish_twice_rejected(self):
+        cache = SlotCache(2)
+        slot = cache.reserve("a")
+        cache.publish(slot)
+        with pytest.raises(ValueError):
+            cache.publish(slot)
+
+    def test_abandon_frees_slot(self):
+        cache = SlotCache(1)
+        slot = cache.reserve("a")
+        cache.abandon(slot)
+        assert "a" not in cache
+        assert cache.reserve("b") is not None
+
+    def test_capacity_bytes(self):
+        cache = SlotCache(4, slot_size=100.0)
+        assert cache.capacity_bytes == 400.0
+
+
+class TestPinning:
+    def test_pin_blocks_eviction(self):
+        cache = SlotCache(1)
+        slot = cache.reserve("a")
+        cache.publish(slot)
+        cache.pin(slot)
+        assert cache.reserve("b") is None  # nothing evictable
+        cache.unpin(slot)
+        assert cache.reserve("b") is not None
+
+    def test_pin_write_slot_rejected(self):
+        cache = SlotCache(1)
+        slot = cache.reserve("a")
+        with pytest.raises(ValueError):
+            cache.pin(slot)
+
+    def test_unpin_without_pin_rejected(self):
+        cache = SlotCache(1)
+        slot = cache.reserve("a")
+        cache.publish(slot)
+        with pytest.raises(ValueError):
+            cache.unpin(slot)
+
+    def test_initial_readers_handoff(self):
+        cache = SlotCache(1)
+        slot = cache.reserve("a")
+        cache.publish(slot, initial_readers=3)
+        assert slot.readers == 3
+        assert slot.pinned
+
+    def test_pinned_count(self):
+        cache = SlotCache(3)
+        fill_published(cache, ["a", "b"])
+        cache.pin(cache.lookup("a"))
+        assert cache.pinned_count() == 1
+
+    def test_write_slot_counts_as_pinned(self):
+        cache = SlotCache(2)
+        cache.reserve("a")
+        assert cache.pinned_count() == 1
+
+
+class TestEviction:
+    def test_lru_evicts_least_recently_used(self):
+        cache = SlotCache(2, policy=EvictionPolicy.LRU)
+        fill_published(cache, ["a", "b"])
+        # Touch "a" so "b" becomes the LRU victim.
+        slot_a = cache.lookup("a")
+        cache.pin(slot_a)
+        cache.unpin(slot_a)
+        cache.publish(cache.reserve("c"))
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.counters.evictions == 1
+
+    def test_fifo_ignores_recency(self):
+        cache = SlotCache(2, policy=EvictionPolicy.FIFO)
+        fill_published(cache, ["a", "b"])
+        slot_a = cache.lookup("a")
+        cache.pin(slot_a)
+        cache.unpin(slot_a)
+        cache.publish(cache.reserve("c"))
+        # FIFO evicts the oldest insertion ("a") despite the recent touch.
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_random_eviction_skips_pinned(self):
+        cache = SlotCache(3, policy=EvictionPolicy.RANDOM, rng=np.random.default_rng(0))
+        fill_published(cache, ["a", "b", "c"])
+        for key in ("a", "b"):
+            cache.pin(cache.lookup(key))
+        cache.publish(cache.reserve("d"))
+        assert "c" not in cache
+        assert "a" in cache and "b" in cache
+
+    def test_eviction_skips_pinned_lru(self):
+        cache = SlotCache(2)
+        fill_published(cache, ["old", "new"])
+        cache.pin(cache.lookup("old"))  # oldest is pinned
+        cache.publish(cache.reserve("x"))
+        assert "new" not in cache  # second-oldest evicted instead
+        assert "old" in cache
+
+    def test_all_pinned_returns_none(self):
+        cache = SlotCache(2)
+        fill_published(cache, ["a", "b"])
+        for key in ("a", "b"):
+            cache.pin(cache.lookup(key))
+        assert cache.reserve("c") is None
+
+    def test_invalidate(self):
+        cache = SlotCache(2)
+        fill_published(cache, ["a"])
+        assert cache.invalidate("a")
+        assert "a" not in cache
+        assert not cache.invalidate("missing")
+
+    def test_invalidate_pinned_refused(self):
+        cache = SlotCache(2)
+        fill_published(cache, ["a"])
+        cache.pin(cache.lookup("a"))
+        assert not cache.invalidate("a")
+
+    def test_needs_at_least_one_slot(self):
+        with pytest.raises(ValueError):
+            SlotCache(0)
+
+
+class TestPropertyBased:
+    @given(
+        n_slots=st.integers(min_value=1, max_value=8),
+        ops=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, n_slots, ops):
+        """Reference-model check: residency bounded, states consistent."""
+        cache = SlotCache(n_slots)
+        for key in ops:
+            slot = cache.lookup(key)
+            if slot is None:
+                wslot = cache.reserve(key)
+                if wslot is not None:
+                    cache.publish(wslot)
+            assert len(cache) <= n_slots
+            for resident in cache.keys():
+                s = cache.peek(resident)
+                assert s is not None and s.key == resident
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["get", "pin", "unpin"]), st.integers(0, 5)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reader_counts_never_negative(self, ops):
+        cache = SlotCache(3)
+        pins = {}
+        for op, key in ops:
+            slot = cache.peek(key)
+            if op == "get" and slot is None:
+                wslot = cache.reserve(key)
+                if wslot is not None:
+                    cache.publish(wslot)
+            elif op == "pin" and slot is not None and slot.state is SlotState.READ:
+                cache.pin(slot)
+                pins[key] = pins.get(key, 0) + 1
+            elif op == "unpin" and pins.get(key, 0) > 0:
+                slot = cache.peek(key)
+                assert slot is not None  # pinned slots cannot be evicted
+                cache.unpin(slot)
+                pins[key] -= 1
+            for k, count in pins.items():
+                s = cache.peek(k)
+                if count > 0:
+                    assert s is not None
+                    assert s.readers >= count or s.readers >= 1
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_lru_matches_reference_model(self, data):
+        """LRU eviction order must match a simple ordered-dict model."""
+        n_slots = data.draw(st.integers(min_value=1, max_value=5))
+        cache = SlotCache(n_slots, policy=EvictionPolicy.LRU)
+        reference = {}  # key -> recency counter
+        tick = 0
+        for _ in range(data.draw(st.integers(min_value=1, max_value=100))):
+            key = data.draw(st.integers(min_value=0, max_value=9))
+            tick += 1
+            slot = cache.lookup(key, count=False)
+            if slot is not None and slot.state is SlotState.READ:
+                cache.pin(slot)
+                cache.unpin(slot)
+                reference[key] = tick
+            elif slot is None:
+                wslot = cache.reserve(key)
+                assert wslot is not None  # nothing is ever pinned here
+                cache.publish(wslot)
+                if len(reference) >= n_slots and key not in reference:
+                    victim = min(reference, key=reference.get)
+                    del reference[victim]
+                reference[key] = tick
+            assert set(cache.keys()) == set(reference)
