@@ -10,8 +10,11 @@ SC 2020).  The package provides:
 - :mod:`repro.cache` — the three-level software cache policy logic;
 - :mod:`repro.scheduling` — divide-and-conquer decomposition and
   hierarchical random work-stealing;
-- :mod:`repro.runtime` — the threaded single-node runtime executing
-  real NumPy pipelines on virtual devices;
+- :mod:`repro.runtime` — the real runtimes executing NumPy pipelines
+  on virtual devices: the threaded single-process backend and the
+  multi-process *cluster* backend, which runs one worker process per
+  node with a live distributed cache level (mediator-based peer
+  fetches over real IPC) and global work stealing;
 - :mod:`repro.sim` — a discrete-event simulation of heterogeneous GPU
   clusters running the full Rocket runtime on simulated time (the
   substrate for the paper's multi-node evaluation);
@@ -33,12 +36,26 @@ Quickstart::
     rocket = Rocket(ForensicsApplication(), store, RocketConfig(n_devices=2))
     results = rocket.run(dataset.keys)
     print(results.get("img0000", "img0004"))
+
+The same run on four real worker processes with the distributed cache
+live (results are identical; only the substrate changes)::
+
+    rocket = Rocket(ForensicsApplication(), store, backend="cluster", n_nodes=4)
+    results = rocket.run(dataset.keys)
+    print(rocket.last_stats.summary())  # includes the hop histogram totals
 """
 
 from repro.core import Application, Rocket, RocketConfig, ResultMatrix, HostBuffer, DeviceBuffer
-from repro.runtime import LocalRocketRuntime, RunStats, VirtualDevice
+from repro.runtime import (
+    ClusterConfig,
+    ClusterRocketRuntime,
+    ClusterRunStats,
+    LocalRocketRuntime,
+    RunStats,
+    VirtualDevice,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Application",
@@ -49,6 +66,9 @@ __all__ = [
     "DeviceBuffer",
     "LocalRocketRuntime",
     "RunStats",
+    "ClusterConfig",
+    "ClusterRocketRuntime",
+    "ClusterRunStats",
     "VirtualDevice",
     "__version__",
 ]

@@ -1,10 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common entry points without writing code:
+Four subcommands cover the common entry points without writing code:
 
-- ``demo`` — run one of the three paper applications end-to-end on
-  synthetic data through the threaded runtime and print the run stats
+- ``run`` — run one of the three paper applications end-to-end on
+  synthetic data on a selectable execution backend (``local`` threads
+  or a real multi-process ``cluster``) and print the run stats
   (optionally saving the result matrix as JSON);
+- ``demo`` — shorthand for ``run --backend local`` (kept for
+  compatibility);
 - ``simulate`` — run a workload profile on a simulated cluster and
   print the report (optionally dumping a Chrome trace of the run);
 - ``profiles`` — print the Table 1 workload profiles.
@@ -35,12 +38,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="run a paper application on synthetic data")
-    demo.add_argument("app", choices=["forensics", "bioinformatics", "microscopy"])
-    demo.add_argument("--items", type=int, default=12, help="data set size")
-    demo.add_argument("--devices", type=int, default=2, help="virtual GPUs")
-    demo.add_argument("--seed", type=int, default=0)
-    demo.add_argument("--save", metavar="PATH", help="write the result matrix as JSON")
+    def add_run_arguments(p: argparse.ArgumentParser, with_backend: bool) -> None:
+        p.add_argument("app", choices=["forensics", "bioinformatics", "microscopy"])
+        p.add_argument("--items", type=int, default=12, help="data set size")
+        p.add_argument("--devices", type=int, default=2, help="virtual GPUs per node")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--save", metavar="PATH", help="write the result matrix as JSON")
+        if with_backend:
+            p.add_argument(
+                "--backend", choices=["local", "cluster"], default="local",
+                help="execution backend (cluster = one worker process per node)",
+            )
+            p.add_argument("--nodes", type=int, default=2, help="cluster node count")
+            p.add_argument(
+                "--hops", type=int, default=2,
+                help="distributed-cache forwarding bound h (cluster backend)",
+            )
+            p.add_argument(
+                "--no-distributed-cache", action="store_true",
+                help="disable the third cache level (cluster backend)",
+            )
+
+    run = sub.add_parser("run", help="run a paper application on a selected backend")
+    add_run_arguments(run, with_backend=True)
+
+    demo = sub.add_parser("demo", help="run a paper application on synthetic data (local backend)")
+    add_run_arguments(demo, with_backend=False)
 
     sim = sub.add_parser("simulate", help="run a workload on a simulated cluster")
     sim.add_argument("profile", choices=sorted(PROFILES))
@@ -84,33 +107,48 @@ def _cmd_profiles() -> int:
     return 0
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
+def _make_demo_app(store, name: str, items: int, seed: int):
+    """Synthesise a data set for one paper application; returns (app, keys)."""
+    if name == "forensics":
+        from repro.apps import ForensicsApplication
+        from repro.data.synthetic import make_forensics_dataset
+
+        dataset = make_forensics_dataset(store, n_images=items, seed=seed)
+        return ForensicsApplication(), dataset.keys
+    if name == "bioinformatics":
+        from repro.apps import BioinformaticsApplication
+        from repro.data.synthetic import make_bioinformatics_dataset
+
+        dataset = make_bioinformatics_dataset(store, n_species=max(3, items), seed=seed)
+        return BioinformaticsApplication(k=3), dataset.keys
+    from repro.apps import MicroscopyApplication
+    from repro.data.synthetic import make_microscopy_dataset
+
+    dataset = make_microscopy_dataset(store, n_particles=items, seed=seed)
+    return MicroscopyApplication(restarts=2), dataset.keys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.rocket import Rocket
     from repro.data.filestore import InMemoryStore
     from repro.runtime.localrocket import RocketConfig
 
     store = InMemoryStore()
-    if args.app == "forensics":
-        from repro.apps import ForensicsApplication
-        from repro.data.synthetic import make_forensics_dataset
+    app, keys = _make_demo_app(store, args.app, args.items, args.seed)
+    config = RocketConfig(n_devices=args.devices, seed=args.seed)
 
-        dataset = make_forensics_dataset(store, n_images=args.items, seed=args.seed)
-        app = ForensicsApplication()
-    elif args.app == "bioinformatics":
-        from repro.apps import BioinformaticsApplication
-        from repro.data.synthetic import make_bioinformatics_dataset
+    backend = getattr(args, "backend", "local")
+    options = {}
+    if backend == "cluster":
+        from repro.runtime.cluster import ClusterConfig
 
-        dataset = make_bioinformatics_dataset(store, n_species=max(3, args.items), seed=args.seed)
-        app = BioinformaticsApplication(k=3)
-    else:
-        from repro.apps import MicroscopyApplication
-        from repro.data.synthetic import make_microscopy_dataset
-
-        dataset = make_microscopy_dataset(store, n_particles=args.items, seed=args.seed)
-        app = MicroscopyApplication(restarts=2)
-
-    rocket = Rocket(app, store, RocketConfig(n_devices=args.devices, seed=args.seed))
-    results = rocket.run(dataset.keys)
+        options["cluster"] = ClusterConfig(
+            n_nodes=args.nodes,
+            max_hops=args.hops,
+            distributed_cache=not args.no_distributed_cache,
+        )
+    rocket = Rocket(app, store, config, backend=backend, **options)
+    results = rocket.run(keys)
     print(rocket.last_stats.summary())
     sample = list(results.items())[:5]
     for a, b, v in sample:
@@ -149,8 +187,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "profiles":
         return _cmd_profiles()
-    if args.command == "demo":
-        return _cmd_demo(args)
+    if args.command in ("run", "demo"):
+        return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -3,8 +3,16 @@
 "Launching an all-pairs application on the cluster can then be achieved
 by simply calling Rocket's main class with an input array of Key
 elements" — :class:`Rocket` is that class.  It executes an
-:class:`~repro.core.api.Application` over a key list on the threaded
-single-node runtime and returns the :class:`~repro.core.result.ResultMatrix`.
+:class:`~repro.core.api.Application` over a key list on a selectable
+execution backend and returns the
+:class:`~repro.core.result.ResultMatrix`:
+
+- ``backend="local"`` (default) — the threaded single-process runtime;
+- ``backend="cluster"`` — one worker process per simulated node with a
+  live distributed cache level and global work stealing
+  (:class:`~repro.runtime.cluster.ClusterRocketRuntime`); select the
+  node count with ``n_nodes=`` or pass a full
+  :class:`~repro.runtime.cluster.ClusterConfig` as ``cluster=``.
 
 For cluster-scale *timing* studies (the paper's evaluation), use
 :func:`repro.sim.rocketsim.run_simulation` instead, which runs the same
@@ -18,7 +26,8 @@ from typing import Hashable, Optional, Sequence
 from repro.core.api import Application
 from repro.core.result import ResultMatrix
 from repro.data.filestore import FileStore
-from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig, RunStats
+from repro.runtime.backend import available_backends, create_backend
+from repro.runtime.localrocket import RocketConfig
 
 __all__ = ["Rocket", "RocketConfig"]
 
@@ -31,11 +40,23 @@ class Rocket:
         app: Application,
         store: FileStore,
         config: RocketConfig = RocketConfig(),
+        backend: str = "local",
+        **backend_options,
     ) -> None:
         self.app = app
         self.store = store
         self.config = config
-        self._runtime = LocalRocketRuntime(app, store, config)
+        self._runtime = create_backend(backend, app, store, config, **backend_options)
+
+    @property
+    def backend(self) -> str:
+        """Name of the selected execution backend."""
+        return self._runtime.name
+
+    @staticmethod
+    def backends() -> tuple:
+        """Names of all registered execution backends."""
+        return available_backends()
 
     def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
         """Compute ``f(l(i), l(j))`` for every key pair ``i < j``.
@@ -46,6 +67,11 @@ class Rocket:
         return self._runtime.run(keys, pair_filter=pair_filter)
 
     @property
-    def last_stats(self) -> Optional[RunStats]:
-        """Statistics of the most recent :meth:`run` (None before any run)."""
+    def last_stats(self):
+        """Statistics of the most recent :meth:`run` (None before any run).
+
+        A :class:`~repro.runtime.localrocket.RunStats` for the local
+        backend, a :class:`~repro.runtime.cluster.ClusterRunStats` for
+        the cluster backend; both provide ``summary()``.
+        """
         return self._runtime.last_stats

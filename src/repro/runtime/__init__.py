@@ -1,26 +1,48 @@
-"""The real (threaded) Rocket runtime for a single machine.
+"""The real Rocket runtimes executing actual application pipelines.
 
 While :mod:`repro.sim` reproduces the paper's *cluster-scale timing
 behaviour* on simulated time, this package executes *real application
 pipelines* — NumPy kernels standing in for the CUDA kernels — with the
-same architecture on actual OS threads:
+same architecture on actual OS threads and processes:
 
 - :mod:`repro.runtime.devices` — virtual GPUs: a serial kernel queue
   per device (one executor thread each, like Rocket's per-GPU launch
   thread), explicit H2D/D2H transfers producing
   :class:`~repro.core.buffers.DeviceBuffer` handles, and optional
   speed factors for emulating heterogeneous devices;
-- :mod:`repro.runtime.localrocket` — the runtime proper: device and
-  host slot caches (the same :class:`~repro.cache.slots.SlotCache`
-  policy code the simulator uses) guarded by condition variables,
-  per-device worker threads running divide-and-conquer with
-  work-stealing, a CPU parse pool, a single I/O lane, and
-  concurrent-job admission control.
-
-This is what the examples and application-correctness tests run on.
+- :mod:`repro.runtime.pernode` — the per-node pipeline both runtimes
+  share: device and host slot caches (the same
+  :class:`~repro.cache.slots.SlotCache` policy code the simulator uses)
+  guarded by condition variables, per-device worker threads running
+  divide-and-conquer with work-stealing, a CPU parse pool, a single I/O
+  lane, and concurrent-job admission control;
+- :mod:`repro.runtime.localrocket` — the single-process configuration
+  (no third cache level; what the examples and application-correctness
+  tests run on);
+- :mod:`repro.runtime.cluster` — the multi-process configuration: one
+  worker process per node, a live distributed cache level (mediator
+  protocol over real IPC), global work stealing through the
+  coordinator, and streamed result gathering;
+- :mod:`repro.runtime.backend` — the backend registry behind
+  ``Rocket(..., backend=...)``.
 """
 
+from repro.runtime.backend import RocketBackend, available_backends, create_backend
+from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime, ClusterRunStats
 from repro.runtime.devices import VirtualDevice
 from repro.runtime.localrocket import LocalRocketRuntime, RunStats
+from repro.runtime.pernode import NodePipeline, NodeStats
 
-__all__ = ["VirtualDevice", "LocalRocketRuntime", "RunStats"]
+__all__ = [
+    "VirtualDevice",
+    "LocalRocketRuntime",
+    "RunStats",
+    "NodePipeline",
+    "NodeStats",
+    "ClusterConfig",
+    "ClusterRocketRuntime",
+    "ClusterRunStats",
+    "RocketBackend",
+    "available_backends",
+    "create_backend",
+]

@@ -1,0 +1,111 @@
+"""Execution-backend abstraction for :class:`~repro.core.rocket.Rocket`.
+
+Rocket can execute the same all-pairs application on different
+substrates — the threaded single-process runtime, or the multi-process
+cluster runtime — behind one interface (the ``AbstractRunner`` /
+concrete-runner split familiar from pipeline frameworks):
+
+- :class:`RocketBackend` — the interface: ``run(keys, pair_filter)``
+  returning a :class:`~repro.core.result.ResultMatrix`, plus a
+  ``last_stats`` attribute holding backend-specific run statistics;
+- a registry mapping backend names to factories, so
+  ``Rocket(app, store, backend="cluster", n_nodes=4)`` needs no imports
+  from the caller.
+
+Factories import their runtime modules on first use rather than at
+module level: the runtime modules themselves import this registry, so
+eager imports here would be circular.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.core.api import Application
+from repro.core.result import ResultMatrix
+from repro.data.filestore import FileStore
+
+__all__ = ["RocketBackend", "available_backends", "create_backend", "register_backend"]
+
+
+class RocketBackend(ABC):
+    """One way of executing an all-pairs application.
+
+    Concrete backends expose ``last_stats`` (``None`` before any run;
+    the stats type is backend-specific — ``RunStats`` for the local
+    backend, ``ClusterRunStats`` for the cluster backend) and must leave
+    the result matrix identical across backends: the pipeline callbacks
+    are pure, so only timing may differ.
+    """
+
+    #: Registry key of the backend (set by subclasses).
+    name: str = "?"
+
+    last_stats: Optional[Any] = None
+
+    @abstractmethod
+    def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
+        """Execute the all-pairs workload over ``keys``."""
+
+
+_FACTORIES: Dict[str, Callable[..., RocketBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., RocketBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites allowed)."""
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the registered execution backends, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def create_backend(
+    name: str, app: Application, store: FileStore, config=None, **options
+) -> RocketBackend:
+    """Instantiate backend ``name`` for an application and store.
+
+    ``options`` are forwarded to the backend factory (e.g. ``n_nodes``
+    or ``cluster`` for the cluster backend); unknown options raise
+    ``TypeError`` from the factory itself.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory(app, store, config, **options)
+
+
+def _local_factory(app, store, config=None, **options) -> RocketBackend:
+    from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
+
+    if options:
+        raise TypeError(f"local backend takes no extra options, got {sorted(options)}")
+    return LocalRocketRuntime(app, store, config if config is not None else RocketConfig())
+
+
+def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
+    from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime
+    from repro.runtime.localrocket import RocketConfig
+
+    cluster = options.pop("cluster", None)
+    n_nodes = options.pop("n_nodes", None)
+    if options:
+        raise TypeError(f"unknown cluster backend options {sorted(options)}")
+    if cluster is None:
+        cluster = ClusterConfig(n_nodes=n_nodes if n_nodes is not None else 2)
+    elif n_nodes is not None and n_nodes != cluster.n_nodes:
+        raise ValueError(
+            f"conflicting node counts: n_nodes={n_nodes} vs cluster.n_nodes={cluster.n_nodes}"
+        )
+    return ClusterRocketRuntime(
+        app, store, config if config is not None else RocketConfig(), cluster=cluster
+    )
+
+
+register_backend("local", _local_factory)
+register_backend("cluster", _cluster_factory)

@@ -1,0 +1,706 @@
+"""Multi-process cluster runtime: the paper's mechanisms over real IPC.
+
+:class:`ClusterRocketRuntime` spawns one worker **process** per
+simulated cluster node (``multiprocessing``), each running the same
+threaded per-node pipeline as the local runtime
+(:class:`~repro.runtime.pernode.NodePipeline`), and wires the three
+cross-node mechanisms of the paper for real:
+
+1. **Distributed cache** (Section 4.1.3) — on a host-cache miss a node
+   sends a request to the item's mediator (:func:`~repro.cache.distributed.mediator_of`);
+   the mediator consults its :class:`~repro.cache.distributed.CandidateDirectory`
+   and forwards the request along the candidate chain; the first holder
+   ships the pre-processed NumPy payload straight back to the requester
+   over the transport — the paper's ``h + 2`` messages per request.
+   Outcomes land in :class:`~repro.cache.distributed.HopStats`.
+
+2. **Global work stealing** (Section 4.2) — the whole workload starts
+   as one root :class:`~repro.scheduling.quadtree.PairBlock` on node 0;
+   idle nodes steal blocks from remote deques through the coordinator,
+   which probes victims in the order produced by the existing
+   :class:`~repro.scheduling.workstealing.VictimSelector` global tier.
+
+3. **Result gathering** — completed pairs stream back to the
+   coordinator, which assembles the final
+   :class:`~repro.core.result.ResultMatrix` and a
+   :class:`ClusterRunStats` (per-node stats, aggregated hop histogram,
+   bytes over the wire).
+
+Every inter-process message travels over per-node ``multiprocessing``
+queues (pipes underneath); payload arrays are genuinely serialised and
+shipped between address spaces.  The default ``fork`` start method
+shares the application/store objects with the children at no cost; with
+``spawn`` they must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.distributed import CandidateDirectory, HopStats, mediator_of
+from repro.core.api import Application
+from repro.core.result import ResultMatrix
+from repro.data.filestore import FileStore
+from repro.runtime.backend import RocketBackend
+from repro.runtime.localrocket import RocketConfig, count_pairs
+from repro.runtime.pernode import NodePipeline, NodeStats
+from repro.scheduling.quadtree import PairBlock
+from repro.scheduling.workstealing import VictimSelector, WorkerTopology
+from repro.util.rng import RngFactory
+from repro.util.trace import TraceRecorder
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRunStats",
+    "ClusterRocketRuntime",
+    "NodeCommServer",
+    "QueueTransport",
+    "NodeReport",
+]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of the multi-process runtime."""
+
+    n_nodes: int = 2
+    #: Enable the third (distributed) cache level.
+    distributed_cache: bool = True
+    #: ``h`` — candidate-chain length a request may be forwarded along.
+    max_hops: int = 2
+    #: How long a worker waits for a distributed-cache reply before
+    #: falling through to a local load.
+    fetch_timeout: float = 30.0
+    #: How long a worker waits for a global-steal grant before retrying.
+    steal_timeout: float = 10.0
+    #: Coordinator/comm-thread queue polling granularity.
+    poll_interval: float = 0.05
+    #: ``multiprocessing`` start method; ``fork`` shares the app/store
+    #: objects with the children, ``spawn`` requires them picklable.
+    start_method: str = "fork"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.max_hops < 1:
+            raise ValueError(f"max_hops (h) must be >= 1, got {self.max_hops}")
+        if self.fetch_timeout <= 0 or self.steal_timeout <= 0 or self.poll_interval <= 0:
+            raise ValueError("timeouts must be positive")
+
+
+@dataclass
+class ClusterRunStats:
+    """Measured behaviour of one multi-process cluster run."""
+
+    runtime: float
+    n_items: int
+    n_pairs: int
+    n_nodes: int
+    loads: int
+    reuse_factor: float
+    throughput: float
+    node_stats: List[NodeStats]
+    hop_stats: HopStats
+    remote_steals: int
+    bytes_over_wire: int
+    #: Control-plane messages of the cache + steal protocols.
+    messages: int
+
+    def summary(self) -> str:
+        """Short human-readable digest."""
+        hs = self.hop_stats
+        return (
+            f"{self.n_pairs} pairs / {self.n_items} items on {self.n_nodes} nodes "
+            f"in {self.runtime:.2f}s ({self.throughput:.1f} pairs/s); "
+            f"loads={self.loads} (R={self.reuse_factor:.2f}); "
+            f"distributed cache: {hs.total_hits}/{hs.requests} remote hits, "
+            f"{self.bytes_over_wire / 1e6:.2f} MB over wire, {self.messages} messages; "
+            f"remote steals={self.remote_steals}"
+        )
+
+
+@dataclass
+class NodeReport:
+    """Everything one node ships back to the coordinator at shutdown."""
+
+    stats: NodeStats
+    hops: HopStats
+    bytes_shipped: int
+    bytes_received: int
+    messages: int
+
+
+# ----------------------------------------------------------------------
+# Transport
+
+
+class QueueTransport:
+    """Point-to-point messaging over per-node inbox queues.
+
+    Works with ``multiprocessing`` queues in the real runtime and with
+    any object exposing ``put`` / ``get(timeout=)`` in tests.
+    """
+
+    def __init__(self, node_id: int, inboxes: Sequence[Any], coordinator: Any) -> None:
+        self.node_id = node_id
+        self._inboxes = list(inboxes)
+        self._coordinator = coordinator
+
+    def send_node(self, node: int, msg: Tuple) -> None:
+        self._inboxes[node].put(msg)
+
+    def send_coordinator(self, msg: Tuple) -> None:
+        self._coordinator.put(msg)
+
+    def recv(self, timeout: float) -> Optional[Tuple]:
+        try:
+            return self._inboxes[self.node_id].get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+
+# ----------------------------------------------------------------------
+# Per-node protocol endpoint
+
+
+class _Pending:
+    """One in-flight request a worker thread is blocked on."""
+
+    def __init__(self, req_id: int, kind: str) -> None:
+        self.req_id = req_id
+        self.kind = kind  # "fetch" | "steal"
+        self.event = threading.Event()
+        self.result: Any = None
+
+    def resolve(self, value: Any) -> None:
+        self.result = value
+        self.event.set()
+
+
+class NodeCommServer:
+    """One node's endpoint of the distributed-cache and steal protocols.
+
+    The message handlers (:meth:`handle`) hold the node's mediator
+    state (:class:`~repro.cache.distributed.CandidateDirectory`) and
+    serve remote requests against the attached pipeline's host cache;
+    :meth:`remote_fetch` / :meth:`global_steal` are the blocking
+    client calls the pipeline's worker threads invoke.  The class is
+    transport-agnostic so the protocol is unit-testable in-process.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        keys: Sequence[Hashable],
+        cluster: ClusterConfig,
+        transport: QueueTransport,
+    ) -> None:
+        self.node_id = node_id
+        self.keys = list(keys)
+        self.cluster = cluster
+        self.transport = transport
+        self.pipeline: Optional[NodePipeline] = None
+        self.directory = CandidateDirectory(cluster.max_hops)
+        self.hops = HopStats(cluster.max_hops)
+        self.bytes_shipped = 0
+        self.bytes_received = 0
+        self.messages = 0
+        self.remote_abort = False
+        self._stats_lock = threading.Lock()
+        self._pending: Dict[int, _Pending] = {}
+        self._pending_lock = threading.Lock()
+        self._next_id = 0
+        self._stop_received = threading.Event()
+        self._shutdown = threading.Event()
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, pipeline: NodePipeline) -> None:
+        """Bind the pipeline whose host cache and deques this node serves."""
+        self.pipeline = pipeline
+
+    @property
+    def stopped(self) -> bool:
+        """True once a coordinator stop message was processed."""
+        return self._stop_received.is_set()
+
+    def serve(self) -> None:
+        """Inbox loop (comm thread body); runs until :meth:`finish`.
+
+        After a stop message the loop keeps *draining* the inbox —
+        discarding late probes and replies — so that peer processes
+        never block on a full pipe while shutting down.
+        """
+        while not self._shutdown.is_set():
+            msg = self.transport.recv(self.cluster.poll_interval)
+            if msg is None:
+                continue
+            if self._stop_received.is_set():
+                continue
+            try:
+                self.handle(msg)
+            except BaseException:  # noqa: BLE001 - must not kill the comm thread
+                self.transport.send_coordinator(
+                    ("error", self.node_id, traceback.format_exc())
+                )
+
+    def finish(self) -> None:
+        """Exit the serve loop (call just before the process exits)."""
+        self._shutdown.set()
+
+    # -- client side (called from worker threads) ------------------------
+
+    def _register(self, kind: str) -> _Pending:
+        with self._pending_lock:
+            self._next_id += 1
+            pend = _Pending(self._next_id, kind)
+            self._pending[pend.req_id] = pend
+        return pend
+
+    def _pop_pending(self, req_id: int) -> Optional[_Pending]:
+        with self._pending_lock:
+            return self._pending.pop(req_id, None)
+
+    def _send_node(self, node: int, msg: Tuple) -> None:
+        with self._stats_lock:
+            self.messages += 1
+        self.transport.send_node(node, msg)
+
+    def _send_coordinator(self, msg: Tuple) -> None:
+        with self._stats_lock:
+            self.messages += 1
+        self.transport.send_coordinator(msg)
+
+    def remote_fetch(self, idx: int) -> Optional[np.ndarray]:
+        """Third-cache-level request for item ``idx`` (blocking).
+
+        Returns the pre-processed payload served by some peer's host
+        cache, or ``None`` (recorded as a miss) — the caller then falls
+        through to a local load.
+        """
+        if self._stop_received.is_set():
+            return None
+        mediator = mediator_of(idx, self.cluster.n_nodes)
+        pend = self._register("fetch")
+        self._send_node(mediator, ("creq", self.node_id, idx, pend.req_id))
+        if not pend.event.wait(self.cluster.fetch_timeout):
+            self._pop_pending(pend.req_id)
+            with self._stats_lock:
+                self.hops.record_miss(had_candidates=True)
+            return None
+        if pend.result is None:  # woken by stop
+            return None
+        payload, hop, _provider = pend.result
+        with self._stats_lock:
+            if payload is None:
+                self.hops.record_miss(had_candidates=(hop != 0))
+            else:
+                self.hops.record_hit(hop)
+                self.bytes_received += payload.nbytes
+        return payload
+
+    def global_steal(self) -> Optional[PairBlock]:
+        """Request one block from a remote node through the coordinator."""
+        if self._stop_received.is_set():
+            return None
+        pend = self._register("steal")
+        self._send_coordinator(("sreq", self.node_id, pend.req_id))
+        if not pend.event.wait(self.cluster.steal_timeout):
+            self._pop_pending(pend.req_id)
+            return None
+        return pend.result
+
+    # -- server side -----------------------------------------------------
+
+    def handle(self, msg: Tuple) -> None:
+        """Process one protocol message (mediator / candidate / reply)."""
+        kind = msg[0]
+        if kind == "creq":
+            # Mediator step: return current candidates, record requester.
+            _, requester, idx, req_id = msg
+            candidates = [
+                c for c in self.directory.lookup_and_record(idx, requester) if c != requester
+            ]
+            if not candidates:
+                self._send_node(requester, ("crep", req_id, None, 0, -1))
+            else:
+                self._send_node(
+                    candidates[0],
+                    ("cprobe", requester, idx, req_id, tuple(candidates[1:]), 1),
+                )
+        elif kind == "cprobe":
+            # Candidate step: serve from the host cache or forward.
+            _, requester, idx, req_id, rest, hop = msg
+            payload = (
+                self.pipeline.host_payload_copy(self.keys[idx])
+                if self.pipeline is not None
+                else None
+            )
+            if payload is not None:
+                with self._stats_lock:
+                    self.bytes_shipped += payload.nbytes
+                self._send_node(requester, ("crep", req_id, payload, hop, self.node_id))
+            elif rest:
+                self._send_node(
+                    rest[0], ("cprobe", requester, idx, req_id, tuple(rest[1:]), hop + 1)
+                )
+            else:
+                # Chain exhausted: the requester must load locally.
+                self._send_node(requester, ("crep", req_id, None, -1, -1))
+        elif kind == "crep":
+            _, req_id, payload, hop, provider = msg
+            pend = self._pop_pending(req_id)
+            if pend is not None:
+                pend.resolve((payload, hop, provider))
+            # A reply landing after the requester timed out is dropped:
+            # the requester already fell back to a local load.
+        elif kind == "sprobe":
+            _, thief, req_id = msg
+            block = self.pipeline.steal_for_remote() if self.pipeline is not None else None
+            self._send_coordinator(("srep", self.node_id, thief, req_id, block))
+        elif kind == "sgrant":
+            _, req_id, block = msg
+            pend = self._pop_pending(req_id)
+            if pend is not None:
+                pend.resolve(block)
+            elif block is not None and self.pipeline is not None:
+                # The thief timed out waiting; never lose a stolen block.
+                self.pipeline.inject_block(block)
+        elif kind == "stop":
+            _, abort = msg
+            self.remote_abort = bool(abort)
+            self._stop_received.set()
+            with self._pending_lock:
+                pending, self._pending = list(self._pending.values()), {}
+            for pend in pending:
+                pend.resolve(None)
+            if self.pipeline is not None:
+                self.pipeline.request_stop(abort=bool(abort))
+        else:
+            raise ValueError(f"unknown cluster message {kind!r}")
+
+    def report(self, stats: NodeStats) -> NodeReport:
+        """Bundle the node's pipeline and protocol stats for shipping."""
+        with self._stats_lock:
+            return NodeReport(
+                stats=stats,
+                hops=self.hops,
+                bytes_shipped=self.bytes_shipped,
+                bytes_received=self.bytes_received,
+                messages=self.messages,
+            )
+
+
+# ----------------------------------------------------------------------
+# Node process
+
+
+def _format_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _node_main(
+    node_id: int,
+    app: Application,
+    store: FileStore,
+    config: RocketConfig,
+    cluster: ClusterConfig,
+    keys: List[Hashable],
+    pair_filter,
+    inboxes: List[Any],
+    coordinator: Any,
+) -> None:
+    """Entry point of one worker process (one simulated cluster node)."""
+    transport = QueueTransport(node_id, inboxes, coordinator)
+    try:
+        comm = NodeCommServer(node_id, keys, cluster, transport)
+        multi = cluster.n_nodes > 1
+        pipeline = NodePipeline(
+            app,
+            store,
+            config,
+            keys,
+            pair_filter=pair_filter,
+            emit_result=lambda i, j, v: transport.send_coordinator(("result", node_id, i, j, v)),
+            node_id=node_id,
+            device_prefix=f"n{node_id}.gpu",
+            rngs=RngFactory(config.seed + 7919 * (node_id + 1)),
+            trace=TraceRecorder(enabled=False),
+            expected_pairs=None,  # the coordinator decides when the run ends
+            remote_fetch=comm.remote_fetch if (multi and cluster.distributed_cache) else None,
+            global_steal=comm.global_steal if multi else None,
+            initial_blocks=[PairBlock.root(len(keys))] if node_id == 0 else [],
+        )
+        comm.attach(pipeline)
+        comm_thread = threading.Thread(target=comm.serve, name=f"comm{node_id}", daemon=True)
+        comm_thread.start()
+        pipeline.start()
+        # Slightly above the coordinator's watchdog so the coordinator
+        # reports the timeout first with full progress information.
+        finished = pipeline.wait(config.watchdog_seconds + 30.0)
+        if pipeline.errors and not comm.remote_abort:
+            transport.send_coordinator(
+                ("error", node_id, _format_error(pipeline.errors[0]))
+            )
+        elif not finished:
+            transport.send_coordinator(("error", node_id, "node watchdog expired"))
+        pipeline.join(timeout=5.0)
+        pipeline.close()
+        transport.send_coordinator(("stats", node_id, comm.report(pipeline.stats())))
+        comm.finish()
+        comm_thread.join(timeout=2.0)
+    except BaseException:  # noqa: BLE001 - last-resort report to the coordinator
+        try:
+            transport.send_coordinator(("error", node_id, traceback.format_exc()))
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+
+
+class ClusterRocketRuntime(RocketBackend):
+    """Run an all-pairs application across real OS processes."""
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        app: Application,
+        store: FileStore,
+        config: RocketConfig = RocketConfig(),
+        cluster: ClusterConfig = ClusterConfig(),
+    ) -> None:
+        self.app = app
+        self.store = store
+        self.config = config
+        self.cluster = cluster
+        self.last_stats: Optional[ClusterRunStats] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
+        """Execute the workload on ``cluster.n_nodes`` worker processes.
+
+        The result matrix is identical to the local backend's (the
+        pipeline callbacks are pure); :attr:`last_stats` afterwards
+        holds a :class:`ClusterRunStats`.
+        """
+        cfg, cl = self.config, self.cluster
+        keys = list(keys)
+        self.app.validate_keys(keys)
+        n = len(keys)
+        total_pairs = count_pairs(keys, pair_filter)
+
+        try:
+            ctx = multiprocessing.get_context(cl.start_method)
+        except ValueError as exc:
+            raise RuntimeError(
+                f"multiprocessing start method {cl.start_method!r} unavailable "
+                f"on this platform"
+            ) from exc
+
+        inboxes = [ctx.Queue() for _ in range(cl.n_nodes)]
+        coord_q = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_node_main,
+                args=(i, self.app, self.store, cfg, cl, keys, pair_filter, inboxes, coord_q),
+                name=f"rocket-node{i}",
+                daemon=True,
+            )
+            for i in range(cl.n_nodes)
+        ]
+
+        results = ResultMatrix(keys)
+        topology = WorkerTopology.from_gpus_per_node([cfg.n_devices] * cl.n_nodes)
+        selector = VictimSelector(topology, RngFactory(cfg.seed).get("cluster:steal"))
+        pending_steals: Dict[Tuple[int, int], List[int]] = {}
+        reports: Dict[int, NodeReport] = {}
+        completed = 0
+        remote_steals = 0
+        error: Optional[str] = None
+        stopped = False
+
+        def broadcast_stop(abort: bool) -> None:
+            for q in inboxes:
+                try:
+                    q.put(("stop", abort))
+                except Exception:
+                    pass
+
+        def victim_order(thief: int) -> List[int]:
+            """Remote-node probe order from the global VictimSelector tier."""
+            order: List[int] = []
+            for w in selector.candidates(thief * cfg.n_devices):
+                node = topology.node_of[w]
+                if node != thief and node not in order:
+                    order.append(node)
+            return order
+
+        def grant(thief: int, req_id: int, block: Optional[PairBlock]) -> None:
+            nonlocal remote_steals
+            inboxes[thief].put(("sgrant", req_id, block))
+            if block is not None:
+                remote_steals += 1
+
+        def advance_steal(key: Tuple[int, int]) -> None:
+            thief, req_id = key
+            victims = pending_steals[key]
+            if victims:
+                inboxes[victims.pop(0)].put(("sprobe", thief, req_id))
+            else:
+                del pending_steals[key]
+                grant(thief, req_id, None)
+
+        def dispatch(msg: Tuple) -> None:
+            nonlocal completed, error, stopped
+            kind = msg[0]
+            if kind == "result":
+                _, _node, i, j, value = msg
+                results.set(keys[i], keys[j], value)
+                completed += 1
+                if completed == total_pairs and not stopped:
+                    stopped = True
+                    broadcast_stop(False)
+            elif kind == "sreq":
+                _, thief, req_id = msg
+                if stopped:
+                    grant(thief, req_id, None)
+                else:
+                    pending_steals[(thief, req_id)] = victim_order(thief)
+                    advance_steal((thief, req_id))
+            elif kind == "srep":
+                _, _victim, thief, req_id, block = msg
+                key = (thief, req_id)
+                if block is not None:
+                    pending_steals.pop(key, None)
+                    grant(thief, req_id, block)
+                elif key in pending_steals:
+                    advance_steal(key)
+            elif kind == "error":
+                _, node, text = msg
+                if error is None:
+                    error = f"node {node}: {text}"
+                if not stopped:
+                    stopped = True
+                    broadcast_stop(True)
+            elif kind == "stats":
+                _, node, report = msg
+                reports[node] = report
+            else:
+                raise AssertionError(f"unknown coordinator message {kind!r}")
+
+        start = time.perf_counter()
+        deadline = start + cfg.watchdog_seconds
+        for p in procs:
+            p.start()
+        try:
+            while True:
+                if error is not None:
+                    break
+                if stopped and len(reports) == cl.n_nodes:
+                    break
+                if time.perf_counter() > deadline:
+                    error = (
+                        f"cluster run did not finish within "
+                        f"watchdog_seconds={cfg.watchdog_seconds}; "
+                        f"completed {completed}/{total_pairs} pairs"
+                    )
+                    break
+                try:
+                    msg = coord_q.get(timeout=cl.poll_interval)
+                except queue.Empty:
+                    dead = [
+                        (i, p)
+                        for i, p in enumerate(procs)
+                        if not p.is_alive() and i not in reports
+                    ]
+                    if dead:
+                        # Give any in-flight error/stats message priority
+                        # over the generic crash report.
+                        while error is None:
+                            try:
+                                dispatch(coord_q.get_nowait())
+                            except queue.Empty:
+                                break
+                        dead = [
+                            (i, p)
+                            for i, p in enumerate(procs)
+                            if not p.is_alive() and i not in reports
+                        ]
+                        if not dead:
+                            continue
+                        if stopped:
+                            # All pairs are in: a node that died after the
+                            # stop broadcast only costs its stats report.
+                            break
+                        if error is None:
+                            i, p = dead[0]
+                            error = (
+                                f"node {i} died unexpectedly (exit code {p.exitcode}) "
+                                f"with {completed}/{total_pairs} pairs completed"
+                            )
+                        break
+                    continue
+                dispatch(msg)
+        finally:
+            if not stopped:
+                broadcast_stop(True)
+            for p in procs:
+                p.join(timeout=5.0)
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=2.0)
+            for q in [*inboxes, coord_q]:
+                q.cancel_join_thread()
+                q.close()
+        runtime = time.perf_counter() - start
+
+        if error is not None:
+            raise RuntimeError(f"cluster run failed: {error}")
+        if len(results) != total_pairs:
+            raise RuntimeError(
+                f"cluster run ended with {len(results)}/{total_pairs} results — "
+                f"scheduler bug"
+            )
+
+        hop_stats = HopStats(cl.max_hops)
+        node_stats: List[NodeStats] = []
+        loads = bytes_over_wire = messages = 0
+        for i in sorted(reports):
+            rep = reports[i]
+            node_stats.append(rep.stats)
+            loads += rep.stats.loads
+            for k in range(cl.max_hops):
+                hop_stats.hits_at_hop[k] += rep.hops.hits_at_hop[k]
+            hop_stats.misses += rep.hops.misses
+            hop_stats.no_candidates += rep.hops.no_candidates
+            bytes_over_wire += rep.bytes_shipped
+            messages += rep.messages
+
+        self.last_stats = ClusterRunStats(
+            runtime=runtime,
+            n_items=n,
+            n_pairs=total_pairs,
+            n_nodes=cl.n_nodes,
+            loads=loads,
+            reuse_factor=loads / n,
+            throughput=total_pairs / runtime if runtime > 0 else 0.0,
+            node_stats=node_stats,
+            hop_stats=hop_stats,
+            remote_steals=remote_steals,
+            bytes_over_wire=bytes_over_wire,
+            messages=messages,
+        )
+        return results

@@ -1,51 +1,34 @@
 """The threaded single-node Rocket runtime executing real pipelines.
 
-Architecture (paper Section 4.3, scaled to one machine):
-
-- one *worker thread per device* runs the divide-and-conquer loop over
-  the pair matrix with hierarchical random work-stealing;
-- admitted pair jobs run on a bounded job pool; each job acquires its
-  two items through the device cache (sequentially, smaller key first,
-  for the deadlock-freedom argument of
-  :func:`repro.cache.policy.safe_job_limit`), executes the comparison
-  kernel on the owning device's serial kernel thread, copies the result
-  D2H and post-processes on the CPU;
-- cache misses run the load pipeline: the single I/O lane reads the
-  file from the store, the CPU pool parses it, the data is copied H2D
-  and pre-processed on the device, then written back into the host
-  cache ("data is always written to both the device and host cache");
-- both cache levels are :class:`~repro.cache.slots.SlotCache` instances
-  (the same policy code the simulator uses) guarded by condition
-  variables.
-
-The distributed (third) cache level does not exist here — this runtime
-is the paper's single-node configuration; multi-node behaviour is the
-simulator's job.
+Architecture (paper Section 4.3, scaled to one machine): the actual
+per-node machinery — worker threads, two :class:`~repro.cache.slots.SlotCache`
+levels, the load pipeline and job admission — lives in
+:class:`~repro.runtime.pernode.NodePipeline`, which this runtime and
+the multi-process :mod:`repro.runtime.cluster` runtime share.  This
+class is the single-node configuration: no third cache level, no
+global stealing, results written straight into an in-process
+:class:`~repro.core.result.ResultMatrix`.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.cache.policy import EvictionPolicy, safe_job_limit
-from repro.cache.slots import CacheCounters, Slot, SlotCache, SlotState
+from repro.cache.policy import EvictionPolicy
+from repro.cache.slots import CacheCounters
 from repro.core.api import Application
 from repro.core.result import ResultMatrix
 from repro.data.filestore import FileStore
-from repro.runtime.devices import VirtualDevice
+from repro.runtime.backend import RocketBackend
+from repro.runtime.pernode import NodePipeline
 from repro.scheduling.quadtree import PairBlock
-from repro.scheduling.throttle import ThreadAdmission
-from repro.scheduling.workstealing import StealOrder, TaskDeque, VictimSelector, WorkerTopology
+from repro.scheduling.workstealing import StealOrder
 from repro.util.rng import RngFactory
 from repro.util.trace import TraceRecorder
 
-__all__ = ["RocketConfig", "RunStats", "LocalRocketRuntime"]
+__all__ = ["RocketConfig", "RunStats", "LocalRocketRuntime", "count_pairs"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +66,19 @@ class RocketConfig:
             raise ValueError("watchdog_seconds must be positive")
 
 
+def count_pairs(keys: Sequence[Hashable], pair_filter) -> int:
+    """Number of accepted pairs for a key list under an optional filter."""
+    n = len(keys)
+    if pair_filter is None:
+        return n * (n - 1) // 2
+    total = sum(
+        1 for i in range(n) for j in range(i + 1, n) if pair_filter(keys[i], keys[j])
+    )
+    if total == 0:
+        raise ValueError("pair_filter rejected every pair")
+    return total
+
+
 @dataclass
 class RunStats:
     """Measured behaviour of one threaded run."""
@@ -116,19 +112,10 @@ class RunStats:
         )
 
 
-class _DeviceState:
-    """Cache, lock and admission for one device."""
-
-    def __init__(self, device: VirtualDevice, cache: SlotCache, admission: ThreadAdmission) -> None:
-        self.device = device
-        self.cache = cache
-        self.cond = threading.Condition()
-        self.admission = admission
-        self.pairs_done = 0
-
-
-class LocalRocketRuntime:
+class LocalRocketRuntime(RocketBackend):
     """Run an :class:`~repro.core.api.Application` all-pairs on one machine."""
+
+    name = "local"
 
     def __init__(
         self,
@@ -159,294 +146,60 @@ class LocalRocketRuntime:
         keys = list(keys)
         self.app.validate_keys(keys)
         n = len(keys)
-        if pair_filter is None:
-            total_pairs = n * (n - 1) // 2
-        else:
-            total_pairs = sum(
-                1
-                for i in range(n)
-                for j in range(i + 1, n)
-                if pair_filter(keys[i], keys[j])
-            )
-            if total_pairs == 0:
-                raise ValueError("pair_filter rejected every pair")
+        total_pairs = count_pairs(keys, pair_filter)
 
-        rngs = RngFactory(cfg.seed)
         results = ResultMatrix(keys)
-        trace = TraceRecorder(enabled=cfg.profiling)
-        t_origin = time.perf_counter()
-
-        speeds = cfg.device_speed_factors or (1.0,) * cfg.n_devices
-        dev_slots = max(2, min(cfg.device_cache_slots, n))
-        host_slots = max(2, min(cfg.host_cache_slots, n))
-        limit = safe_job_limit(cfg.concurrent_jobs, dev_slots, host_slots, cfg.n_devices)
-
-        states: List[_DeviceState] = []
-        for d in range(cfg.n_devices):
-            device = VirtualDevice(f"gpu{d}", speed_factor=speeds[d])
-            cache = SlotCache(
-                dev_slots, policy=cfg.eviction, name=f"device:{d}", rng=rngs.get(f"evict:d{d}")
-            )
-            states.append(_DeviceState(device, cache, ThreadAdmission(limit)))
-
-        host_cache = SlotCache(
-            host_slots, policy=cfg.eviction, name="host", rng=rngs.get("evict:host")
-        )
-        host_cond = threading.Condition()
-
-        topology = WorkerTopology.from_gpus_per_node([cfg.n_devices])
-        selector = VictimSelector(topology, rngs.get("steal"))
-        deques: List[TaskDeque] = [TaskDeque(d) for d in range(cfg.n_devices)]
-        deques[0].push(PairBlock.root(n))
-        sched_lock = threading.Lock()
-
-        counters = {
-            "loads": 0,
-            "io_bytes": 0,
-            "parse_seconds": 0.0,
-            "local_steals": 0,
-            "submitted": 0,
-            "completed": 0,
-        }
-        counters_lock = threading.Lock()
-        done = threading.Event()
-        errors: List[BaseException] = []
-
-        io_pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="io")
-        cpu_pool = ThreadPoolExecutor(max_workers=cfg.cpu_workers, thread_name_prefix="cpu")
-        job_pool = ThreadPoolExecutor(
-            max_workers=max(2, limit * cfg.n_devices), thread_name_prefix="job"
+        pipeline = NodePipeline(
+            self.app,
+            self.store,
+            cfg,
+            keys,
+            pair_filter=pair_filter,
+            emit_result=lambda i, j, v: results.set(keys[i], keys[j], v),
+            rngs=RngFactory(cfg.seed),
+            expected_pairs=total_pairs,
+            initial_blocks=[PairBlock.root(n)],
         )
 
-        def fail(exc: BaseException) -> None:
-            with counters_lock:
-                errors.append(exc)
-            done.set()
-
-        def now() -> float:
-            return time.perf_counter() - t_origin
-
-        # -- cache machinery -------------------------------------------
-
-        def acquire_device_item(st: _DeviceState, idx: int) -> Slot:
-            """Return the device slot of item ``idx``, pinned once."""
-            first = True
-            while True:
-                with st.cond:
-                    slot = st.cache.lookup(keys[idx], count=first)
-                    first = False
-                    if slot is not None and slot.state is SlotState.READ:
-                        st.cache.pin(slot)
-                        return slot
-                    if slot is None:
-                        wslot = st.cache.reserve(keys[idx])
-                        if wslot is not None:
-                            break
-                    st.cond.wait(timeout=1.0)
-                    if done.is_set() and errors:
-                        raise RuntimeError("run aborted")
-            try:
-                fill_device(st, idx, wslot)
-            except BaseException:
-                with st.cond:
-                    st.cache.abandon(wslot)
-                    st.cond.notify_all()
-                raise
-            return wslot  # published with one reader pin for us
-
-        def release_device_item(st: _DeviceState, slot: Slot) -> None:
-            with st.cond:
-                st.cache.unpin(slot)
-                st.cond.notify_all()
-
-        def fill_device(st: _DeviceState, idx: int, wslot: Slot) -> None:
-            """Fill a reserved device slot from host cache or by loading."""
-            key = keys[idx]
-            host_payload: Optional[np.ndarray] = None
-            host_wslot: Optional[Slot] = None
-            first = True
-            while True:
-                with host_cond:
-                    slot = host_cache.lookup(key, count=first)
-                    first = False
-                    if slot is not None and slot.state is SlotState.READ:
-                        host_cache.pin(slot)  # refresh recency
-                        host_payload = slot.payload
-                        host_cache.unpin(slot)
-                        break
-                    if slot is None:
-                        host_wslot = host_cache.reserve(key)
-                        if host_wslot is not None:
-                            break
-                    host_cond.wait(timeout=1.0)
-                    if done.is_set() and errors:
-                        raise RuntimeError("run aborted")
-
-            if host_payload is not None:
-                # Host hit: H2D copy and publish.
-                dev_buf = st.device.h2d(host_payload)
-                with st.cond:
-                    st.cache.publish(wslot, payload=dev_buf, initial_readers=1)
-                    st.cond.notify_all()
-                return
-
-            # Host miss: run the load pipeline l(i).
-            assert host_wslot is not None
-            try:
-                t0 = now()
-                blob = io_pool.submit(self.store.read, self.app.file_name(key)).result()
-                trace.record("IO", "io", t0, now())
-
-                t0 = now()
-                parsed = cpu_pool.submit(self.app.parse, key, blob).result()
-                parse_duration = now() - t0
-                trace.record("CPU", "parse", t0, t0 + parse_duration)
-
-                dev_parsed = st.device.h2d(parsed)
-                t0 = now()
-                dev_item = st.device.run_kernel(self.app.preprocess, key, dev_parsed)
-                trace.record(st.device.name, "preprocess", t0, now())
-
-                with counters_lock:
-                    counters["loads"] += 1
-                    counters["io_bytes"] += len(blob)
-                    counters["parse_seconds"] += parse_duration
-            except BaseException:
-                with host_cond:
-                    host_cache.abandon(host_wslot)
-                    host_cond.notify_all()
-                raise
-
-            # Item is on the device: publish there first, then write the
-            # host copy back (both caches end up holding the item).
-            with st.cond:
-                st.cache.publish(wslot, payload=dev_item, initial_readers=1)
-                st.cond.notify_all()
-            host_payload = st.device.d2h(dev_item)
-            with host_cond:
-                host_cache.publish(host_wslot, payload=host_payload)
-                host_cond.notify_all()
-
-        # -- job execution ----------------------------------------------
-
-        def run_job(d: int, i: int, j: int) -> None:
-            st = states[d]
-            try:
-                slot_i = acquire_device_item(st, i)
-                slot_j = acquire_device_item(st, j)
-                try:
-                    t0 = now()
-                    raw = st.device.run_kernel(
-                        self.app.compare, keys[i], slot_i.payload, keys[j], slot_j.payload
-                    )
-                    trace.record(st.device.name, "compare", t0, now())
-                finally:
-                    release_device_item(st, slot_i)
-                    release_device_item(st, slot_j)
-                raw_host = st.device.d2h(raw)
-                value = self.app.postprocess(keys[i], keys[j], raw_host)
-                results.set(keys[i], keys[j], value)
-                st.pairs_done += 1
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
-                fail(exc)
-            finally:
-                st.admission.release()
-                with counters_lock:
-                    counters["completed"] += 1
-                    if counters["completed"] == total_pairs:
-                        done.set()
-
-        # -- worker loop --------------------------------------------------
-
-        def worker(d: int) -> None:
-            st = states[d]
-            while not done.is_set():
-                with sched_lock:
-                    task = deques[d].pop()
-                    if task is None:
-                        for victim in selector.candidates(d):
-                            task = deques[victim].steal(cfg.steal_order)
-                            if task is not None:
-                                counters["local_steals"] += 1
-                                break
-                if task is None:
-                    with counters_lock:
-                        if counters["submitted"] >= total_pairs:
-                            return
-                    time.sleep(0.0005)
-                    continue
-                if task.is_leaf(cfg.leaf_size):
-                    for (i, j) in task.pairs():
-                        if pair_filter is not None and not pair_filter(keys[i], keys[j]):
-                            continue
-                        while not st.admission.acquire(timeout=0.5):
-                            if done.is_set() and errors:
-                                return
-                        with counters_lock:
-                            counters["submitted"] += 1
-                        job_pool.submit(run_job, d, i, j)
-                else:
-                    with sched_lock:
-                        deques[d].push_children(task.split())
-
-        # -- run ------------------------------------------------------------
-
-        workers = [
-            threading.Thread(target=worker, args=(d,), name=f"worker{d}", daemon=True)
-            for d in range(cfg.n_devices)
-        ]
         start = time.perf_counter()
-        for w in workers:
-            w.start()
+        pipeline.start()
         try:
-            finished = done.wait(timeout=cfg.watchdog_seconds)
+            finished = pipeline.wait(cfg.watchdog_seconds)
             if not finished:
                 raise RuntimeError(
                     f"run did not finish within watchdog_seconds={cfg.watchdog_seconds}; "
-                    f"completed {counters['completed']}/{total_pairs} pairs"
+                    f"completed {pipeline.counters['completed']}/{total_pairs} pairs"
                 )
-            for w in workers:
-                w.join(timeout=10.0)
-            job_pool.shutdown(wait=True)
+            pipeline.join(timeout=10.0)
         finally:
-            io_pool.shutdown(wait=False)
-            cpu_pool.shutdown(wait=False)
-            for st in states:
-                st.device.shutdown()
+            pipeline.close()
         runtime = time.perf_counter() - start
 
-        if errors:
-            raise errors[0]
+        if pipeline.errors:
+            raise pipeline.errors[0]
         if len(results) != total_pairs:
             raise RuntimeError(
                 f"run ended with {len(results)}/{total_pairs} results — scheduler bug"
             )
 
-        device_counters = CacheCounters()
-        for st in states:
-            c = st.cache.counters
-            device_counters.hits += c.hits
-            device_counters.hits_while_writing += c.hits_while_writing
-            device_counters.misses += c.misses
-            device_counters.evictions += c.evictions
-
+        ns = pipeline.stats()
         self.last_stats = RunStats(
             runtime=runtime,
             n_items=n,
             n_pairs=total_pairs,
-            loads=counters["loads"],
-            reuse_factor=counters["loads"] / n,
-            device_counters=device_counters,
-            host_counters=host_cache.counters,
-            local_steals=counters["local_steals"],
-            kernel_seconds={st.device.name: st.device.kernel_seconds for st in states},
-            kernel_counts={st.device.name: st.device.kernel_count for st in states},
-            pairs_per_device={st.device.name: st.pairs_done for st in states},
-            h2d_bytes=sum(st.device.h2d_bytes for st in states),
-            d2h_bytes=sum(st.device.d2h_bytes for st in states),
-            io_bytes=counters["io_bytes"],
-            parse_seconds=counters["parse_seconds"],
+            loads=ns.loads,
+            reuse_factor=ns.loads / n,
+            device_counters=ns.device_counters,
+            host_counters=ns.host_counters,
+            local_steals=ns.local_steals,
+            kernel_seconds=ns.kernel_seconds,
+            kernel_counts=ns.kernel_counts,
+            pairs_per_device=ns.pairs_per_device,
+            h2d_bytes=ns.h2d_bytes,
+            d2h_bytes=ns.d2h_bytes,
+            io_bytes=ns.io_bytes,
+            parse_seconds=ns.parse_seconds,
             throughput=total_pairs / runtime if runtime > 0 else 0.0,
-            trace=trace if cfg.profiling else None,
+            trace=pipeline.trace if cfg.profiling else None,
         )
         return results

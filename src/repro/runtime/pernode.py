@@ -1,0 +1,528 @@
+"""The per-node execution pipeline shared by the local and cluster runtimes.
+
+:class:`NodePipeline` is the machinery that used to live inside
+``LocalRocketRuntime``, extracted so that both the single-process
+runtime and the multi-process cluster runtime run the *same* code for
+everything that happens inside one node (paper Section 4.3):
+
+- one worker thread per device runs the divide-and-conquer loop over
+  the pair matrix with hierarchical random work-stealing;
+- admitted pair jobs run on a bounded job pool; each job acquires its
+  two items through the device cache (sequentially, smaller key first,
+  for the deadlock-freedom argument of
+  :func:`repro.cache.policy.safe_job_limit`), executes the comparison
+  kernel on the owning device's serial kernel thread, copies the result
+  D2H and post-processes on the CPU;
+- cache misses run the load pipeline: the single I/O lane reads the
+  file from the store, the CPU pool parses it, the data is copied H2D
+  and pre-processed on the device, then written back into the host
+  cache ("data is always written to both the device and host cache").
+
+What differs between the runtimes is injected as hooks:
+
+- ``emit_result(i, j, value)`` — local: write into the in-process
+  :class:`~repro.core.result.ResultMatrix`; cluster: stream the pair to
+  the coordinator;
+- ``remote_fetch(idx)`` — the third (distributed) cache level,
+  consulted after a host-cache miss and before the load pipeline;
+  ``None`` (the local runtime) skips straight to loading;
+- ``global_steal()`` — called when the local deques are all empty;
+  cluster nodes use it to steal :class:`~repro.scheduling.quadtree.PairBlock`
+  subtrees from remote nodes through the coordinator.
+
+Idle workers block on a condition variable (``work_cond``) that is
+notified whenever tasks are pushed, a job completes, or the run ends —
+there is no sleep-polling loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.policy import safe_job_limit
+from repro.cache.slots import CacheCounters, Slot, SlotCache, SlotState
+from repro.core.api import Application
+from repro.data.filestore import FileStore
+from repro.runtime.devices import VirtualDevice
+from repro.scheduling.quadtree import PairBlock
+from repro.scheduling.throttle import ThreadAdmission
+from repro.scheduling.workstealing import TaskDeque, VictimSelector, WorkerTopology
+from repro.util.rng import RngFactory
+from repro.util.trace import TraceRecorder
+
+__all__ = ["NodeStats", "NodePipeline"]
+
+#: Backstop timeout for idle-worker condition waits: wake-ups are
+#: notified explicitly, the timeout only guards against lost notifies.
+_IDLE_WAIT = 0.05
+
+
+@dataclass
+class NodeStats:
+    """Measured behaviour of one node's pipeline (picklable)."""
+
+    node_id: int
+    loads: int
+    io_bytes: int
+    parse_seconds: float
+    local_steals: int
+    submitted: int
+    completed: int
+    device_counters: CacheCounters
+    host_counters: CacheCounters
+    kernel_seconds: Dict[str, float]
+    kernel_counts: Dict[str, int]
+    pairs_per_device: Dict[str, int]
+    h2d_bytes: int
+    d2h_bytes: int
+
+
+class _DeviceState:
+    """Cache, lock and admission for one device."""
+
+    def __init__(self, device: VirtualDevice, cache: SlotCache, admission: ThreadAdmission) -> None:
+        self.device = device
+        self.cache = cache
+        self.cond = threading.Condition()
+        self.admission = admission
+        self.pairs_done = 0
+
+
+class NodePipeline:
+    """Workers, caches and the load pipeline of one Rocket node.
+
+    Lifecycle: construct, :meth:`start`, :meth:`wait` for the done
+    event (set internally when ``expected_pairs`` complete, or
+    externally via :meth:`request_stop`), :meth:`join`, :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        store: FileStore,
+        config,  # RocketConfig (kept untyped to avoid an import cycle)
+        keys: Sequence[Hashable],
+        *,
+        pair_filter: Optional[Callable[[Hashable, Hashable], bool]] = None,
+        emit_result: Callable[[int, int, Any], None],
+        node_id: int = 0,
+        device_prefix: str = "gpu",
+        rngs: Optional[RngFactory] = None,
+        trace: Optional[TraceRecorder] = None,
+        expected_pairs: Optional[int] = None,
+        remote_fetch: Optional[Callable[[int], Optional[np.ndarray]]] = None,
+        global_steal: Optional[Callable[[], Optional[PairBlock]]] = None,
+        initial_blocks: Sequence[PairBlock] = (),
+    ) -> None:
+        cfg = config
+        self.app = app
+        self.store = store
+        self.config = cfg
+        self.keys = list(keys)
+        self.pair_filter = pair_filter
+        self.emit_result = emit_result
+        self.node_id = node_id
+        self.expected_pairs = expected_pairs
+        self.remote_fetch = remote_fetch
+        self.global_steal = global_steal
+
+        n = len(self.keys)
+        rngs = rngs if rngs is not None else RngFactory(cfg.seed)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=cfg.profiling)
+        self._t_origin = time.perf_counter()
+
+        speeds = cfg.device_speed_factors or (1.0,) * cfg.n_devices
+        dev_slots = max(2, min(cfg.device_cache_slots, n))
+        host_slots = max(2, min(cfg.host_cache_slots, n))
+        limit = safe_job_limit(cfg.concurrent_jobs, dev_slots, host_slots, cfg.n_devices)
+
+        self.states: List[_DeviceState] = []
+        for d in range(cfg.n_devices):
+            device = VirtualDevice(f"{device_prefix}{d}", speed_factor=speeds[d])
+            cache = SlotCache(
+                dev_slots, policy=cfg.eviction, name=f"device:{node_id}:{d}",
+                rng=rngs.get(f"evict:n{node_id}:d{d}"),
+            )
+            self.states.append(_DeviceState(device, cache, ThreadAdmission(limit)))
+
+        self.host_cache = SlotCache(
+            host_slots, policy=cfg.eviction, name=f"host:{node_id}",
+            rng=rngs.get(f"evict:host:n{node_id}"),
+        )
+        self.host_cond = threading.Condition()
+
+        topology = WorkerTopology.from_gpus_per_node([cfg.n_devices])
+        self._selector = VictimSelector(topology, rngs.get(f"steal:n{node_id}"))
+        self.deques: List[TaskDeque] = [TaskDeque(d) for d in range(cfg.n_devices)]
+        for i, block in enumerate(initial_blocks):
+            self.deques[i % cfg.n_devices].push(block)
+        self.sched_lock = threading.Lock()
+        #: Idle workers wait here; notified on new tasks, job completion
+        #: and shutdown (replaces the old sleep-polling loop).
+        self.work_cond = threading.Condition()
+
+        self.counters = {
+            "loads": 0,
+            "io_bytes": 0,
+            "parse_seconds": 0.0,
+            "local_steals": 0,
+            "submitted": 0,
+            "completed": 0,
+        }
+        self.counters_lock = threading.Lock()
+        self.done = threading.Event()
+        self.aborted = threading.Event()
+        self.errors: List[BaseException] = []
+
+        self._io_pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"io{node_id}")
+        self._cpu_pool = ThreadPoolExecutor(
+            max_workers=cfg.cpu_workers, thread_name_prefix=f"cpu{node_id}"
+        )
+        self._job_pool = ThreadPoolExecutor(
+            max_workers=max(2, limit * cfg.n_devices), thread_name_prefix=f"job{node_id}"
+        )
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the per-device worker threads."""
+        self._threads = [
+            threading.Thread(
+                target=self._worker, args=(d,),
+                name=f"worker{self.node_id}.{d}", daemon=True,
+            )
+            for d in range(self.config.n_devices)
+        ]
+        for w in self._threads:
+            w.start()
+
+    def wait(self, timeout: Optional[float]) -> bool:
+        """Block until the run completes or aborts; False on timeout."""
+        return self.done.wait(timeout=timeout)
+
+    def request_stop(self, abort: bool = False) -> None:
+        """Externally end the run (cluster shutdown / abort) and wake waiters."""
+        if abort:
+            self.aborted.set()
+        self._signal_done()
+
+    def fail(self, exc: BaseException) -> None:
+        """Record an error and abort the run."""
+        with self.counters_lock:
+            self.errors.append(exc)
+        self.aborted.set()
+        self._signal_done()
+
+    def _signal_done(self) -> None:
+        self.done.set()
+        with self.work_cond:
+            self.work_cond.notify_all()
+        with self.host_cond:
+            self.host_cond.notify_all()
+        for st in self.states:
+            with st.cond:
+                st.cond.notify_all()
+
+    def join(self, timeout: float = 10.0) -> None:
+        """Join worker threads and drain the job pool (after done)."""
+        for w in self._threads:
+            w.join(timeout=timeout)
+        self._job_pool.shutdown(wait=not self.aborted.is_set())
+
+    def close(self) -> None:
+        """Tear down pools and devices (idempotent; safe after errors)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._io_pool.shutdown(wait=False)
+        self._cpu_pool.shutdown(wait=False)
+        for st in self.states:
+            st.device.shutdown()
+
+    # -- introspection ---------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t_origin
+
+    def stats(self) -> NodeStats:
+        """Snapshot of the node's counters (call after the run)."""
+        device_counters = CacheCounters()
+        for st in self.states:
+            c = st.cache.counters
+            device_counters.hits += c.hits
+            device_counters.hits_while_writing += c.hits_while_writing
+            device_counters.misses += c.misses
+            device_counters.evictions += c.evictions
+        with self.counters_lock:
+            counters = dict(self.counters)
+        return NodeStats(
+            node_id=self.node_id,
+            loads=counters["loads"],
+            io_bytes=counters["io_bytes"],
+            parse_seconds=counters["parse_seconds"],
+            local_steals=counters["local_steals"],
+            submitted=counters["submitted"],
+            completed=counters["completed"],
+            device_counters=device_counters,
+            host_counters=self.host_cache.counters,
+            kernel_seconds={st.device.name: st.device.kernel_seconds for st in self.states},
+            kernel_counts={st.device.name: st.device.kernel_count for st in self.states},
+            pairs_per_device={st.device.name: st.pairs_done for st in self.states},
+            h2d_bytes=sum(st.device.h2d_bytes for st in self.states),
+            d2h_bytes=sum(st.device.d2h_bytes for st in self.states),
+        )
+
+    # -- services for the cluster comm layer -----------------------------
+
+    def host_payload_copy(self, key: Hashable) -> Optional[np.ndarray]:
+        """Copy of ``key``'s host-cache payload, or None if not readable.
+
+        Called from the cluster comm thread to serve remote fetches; a
+        slot still being written (or already evicted) is reported as
+        absent — the request then falls through to the next candidate.
+        """
+        with self.host_cond:
+            slot = self.host_cache.peek(key)
+            if slot is None or slot.state is not SlotState.READ:
+                return None
+            self.host_cache.pin(slot)  # refresh recency like a local hit
+            payload = np.array(slot.payload, copy=True)
+            self.host_cache.unpin(slot)
+            return payload
+
+    def steal_for_remote(self) -> Optional[PairBlock]:
+        """Give up one block (largest available) to a remote thief."""
+        with self.sched_lock:
+            victim = max(self.deques, key=len)
+            return victim.steal(self.config.steal_order)
+
+    def inject_block(self, block: PairBlock) -> None:
+        """Push an externally delivered block onto the emptiest deque."""
+        with self.sched_lock:
+            target = min(self.deques, key=len)
+            target.push(block)
+        with self.work_cond:
+            self.work_cond.notify_all()
+
+    # -- cache machinery -------------------------------------------------
+
+    def _acquire_device_item(self, st: _DeviceState, idx: int) -> Slot:
+        """Return the device slot of item ``idx``, pinned once."""
+        first = True
+        while True:
+            with st.cond:
+                slot = st.cache.lookup(self.keys[idx], count=first)
+                first = False
+                if slot is not None and slot.state is SlotState.READ:
+                    st.cache.pin(slot)
+                    return slot
+                if slot is None:
+                    wslot = st.cache.reserve(self.keys[idx])
+                    if wslot is not None:
+                        break
+                st.cond.wait(timeout=1.0)
+                if self.aborted.is_set():
+                    raise RuntimeError("run aborted")
+        try:
+            self._fill_device(st, idx, wslot)
+        except BaseException:
+            with st.cond:
+                st.cache.abandon(wslot)
+                st.cond.notify_all()
+            raise
+        return wslot  # published with one reader pin for us
+
+    def _release_device_item(self, st: _DeviceState, slot: Slot) -> None:
+        with st.cond:
+            st.cache.unpin(slot)
+            st.cond.notify_all()
+
+    def _fill_device(self, st: _DeviceState, idx: int, wslot: Slot) -> None:
+        """Fill a reserved device slot from host cache, a peer, or a load."""
+        key = self.keys[idx]
+        host_payload: Optional[np.ndarray] = None
+        host_wslot: Optional[Slot] = None
+        first = True
+        while True:
+            with self.host_cond:
+                slot = self.host_cache.lookup(key, count=first)
+                first = False
+                if slot is not None and slot.state is SlotState.READ:
+                    self.host_cache.pin(slot)  # refresh recency
+                    host_payload = slot.payload
+                    self.host_cache.unpin(slot)
+                    break
+                if slot is None:
+                    host_wslot = self.host_cache.reserve(key)
+                    if host_wslot is not None:
+                        break
+                self.host_cond.wait(timeout=1.0)
+                if self.aborted.is_set():
+                    raise RuntimeError("run aborted")
+
+        if host_payload is not None:
+            # Host hit: H2D copy and publish.
+            dev_buf = st.device.h2d(host_payload)
+            with st.cond:
+                st.cache.publish(wslot, payload=dev_buf, initial_readers=1)
+                st.cond.notify_all()
+            return
+
+        assert host_wslot is not None
+
+        # Host miss: consult the third (distributed) cache level first.
+        if self.remote_fetch is not None:
+            try:
+                remote_payload = self.remote_fetch(idx)
+            except BaseException:
+                with self.host_cond:
+                    self.host_cache.abandon(host_wslot)
+                    self.host_cond.notify_all()
+                raise
+            if remote_payload is not None:
+                # A peer's host cache served the pre-processed item:
+                # publish it to both local levels, exactly like a load.
+                dev_buf = st.device.h2d(remote_payload)
+                with st.cond:
+                    st.cache.publish(wslot, payload=dev_buf, initial_readers=1)
+                    st.cond.notify_all()
+                with self.host_cond:
+                    self.host_cache.publish(host_wslot, payload=remote_payload)
+                    self.host_cond.notify_all()
+                return
+
+        # Fall through to the load pipeline l(i).
+        try:
+            t0 = self._now()
+            blob = self._io_pool.submit(self.store.read, self.app.file_name(key)).result()
+            self.trace.record("IO", "io", t0, self._now())
+
+            t0 = self._now()
+            parsed = self._cpu_pool.submit(self.app.parse, key, blob).result()
+            parse_duration = self._now() - t0
+            self.trace.record("CPU", "parse", t0, t0 + parse_duration)
+
+            dev_parsed = st.device.h2d(parsed)
+            t0 = self._now()
+            dev_item = st.device.run_kernel(self.app.preprocess, key, dev_parsed)
+            self.trace.record(st.device.name, "preprocess", t0, self._now())
+
+            with self.counters_lock:
+                self.counters["loads"] += 1
+                self.counters["io_bytes"] += len(blob)
+                self.counters["parse_seconds"] += parse_duration
+        except BaseException:
+            with self.host_cond:
+                self.host_cache.abandon(host_wslot)
+                self.host_cond.notify_all()
+            raise
+
+        # Item is on the device: publish there first, then write the
+        # host copy back (both caches end up holding the item).
+        with st.cond:
+            st.cache.publish(wslot, payload=dev_item, initial_readers=1)
+            st.cond.notify_all()
+        host_payload = st.device.d2h(dev_item)
+        with self.host_cond:
+            self.host_cache.publish(host_wslot, payload=host_payload)
+            self.host_cond.notify_all()
+
+    # -- job execution ---------------------------------------------------
+
+    def _run_job(self, d: int, i: int, j: int) -> None:
+        st = self.states[d]
+        keys = self.keys
+        try:
+            slot_i = self._acquire_device_item(st, i)
+            slot_j = self._acquire_device_item(st, j)
+            try:
+                t0 = self._now()
+                raw = st.device.run_kernel(
+                    self.app.compare, keys[i], slot_i.payload, keys[j], slot_j.payload
+                )
+                self.trace.record(st.device.name, "compare", t0, self._now())
+            finally:
+                self._release_device_item(st, slot_i)
+                self._release_device_item(st, slot_j)
+            raw_host = st.device.d2h(raw)
+            value = self.app.postprocess(keys[i], keys[j], raw_host)
+            self.emit_result(i, j, value)
+            with self.counters_lock:
+                st.pairs_done += 1
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self.fail(exc)
+        finally:
+            st.admission.release()
+            with self.counters_lock:
+                self.counters["completed"] += 1
+                finished = (
+                    self.expected_pairs is not None
+                    and self.counters["completed"] == self.expected_pairs
+                )
+            if finished:
+                self._signal_done()
+            else:
+                with self.work_cond:
+                    self.work_cond.notify_all()
+
+    # -- worker loop -----------------------------------------------------
+
+    def _worker(self, d: int) -> None:
+        cfg = self.config
+        st = self.states[d]
+        keys = self.keys
+        idle_rounds = 0
+        while not self.done.is_set():
+            stole = False
+            with self.sched_lock:
+                task = self.deques[d].pop()
+                if task is None:
+                    for victim in self._selector.candidates(d):
+                        task = self.deques[victim].steal(cfg.steal_order)
+                        if task is not None:
+                            stole = True
+                            break
+            if stole:
+                with self.counters_lock:
+                    self.counters["local_steals"] += 1
+            if task is None and self.global_steal is not None:
+                task = self.global_steal()
+            if task is None:
+                if self.expected_pairs is not None:
+                    with self.counters_lock:
+                        if self.counters["submitted"] >= self.expected_pairs:
+                            return
+                # Exponential backoff caps the coordinator round-trips a
+                # persistently idle node generates at run tail.
+                idle_rounds += 1
+                with self.work_cond:
+                    if self.done.is_set():
+                        return
+                    self.work_cond.wait(
+                        timeout=min(0.5, _IDLE_WAIT * (1 << min(idle_rounds, 4)))
+                    )
+                continue
+            idle_rounds = 0
+            if task.is_leaf(cfg.leaf_size):
+                for (i, j) in task.pairs():
+                    if self.pair_filter is not None and not self.pair_filter(keys[i], keys[j]):
+                        continue
+                    while not st.admission.acquire(timeout=0.5):
+                        if self.done.is_set():
+                            return
+                    with self.counters_lock:
+                        self.counters["submitted"] += 1
+                    self._job_pool.submit(self._run_job, d, i, j)
+            else:
+                with self.sched_lock:
+                    self.deques[d].push_children(task.split())
+                with self.work_cond:
+                    self.work_cond.notify_all()

@@ -1,0 +1,412 @@
+"""Tests for the multi-process cluster runtime and its protocols.
+
+Two layers:
+
+- protocol unit tests drive :class:`NodeCommServer` handlers over a
+  synchronous in-process transport (no OS processes), which makes
+  churn scenarios — holders evicting items between the mediator
+  forward and the fetch — deterministic;
+- end-to-end tests spawn real worker processes and check that the
+  cluster backend produces results identical to the local backend,
+  that remote cache hits genuinely travel over the transport, and
+  that failures (application errors, node crashes) surface as clean
+  errors instead of hangs.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache.distributed import mediator_of
+from repro.core.api import Application
+from repro.core.rocket import Rocket
+from repro.data.filestore import InMemoryStore
+from repro.runtime.backend import available_backends, create_backend
+from repro.runtime.cluster import (
+    ClusterConfig,
+    ClusterRocketRuntime,
+    NodeCommServer,
+)
+from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
+from repro.scheduling.quadtree import PairBlock
+
+
+class SumApp(Application[str, float]):
+    """Deterministic toy app: compare = sum(a) * sum(b)."""
+
+    def file_name(self, key):
+        return f"{key}.bin"
+
+    def parse(self, key, file_contents):
+        return np.frombuffer(file_contents, dtype=np.float64).copy()
+
+    def preprocess(self, key, parsed):
+        return parsed * 2.0
+
+    def compare(self, key_a, a, key_b, b):
+        return np.asarray(float(a.sum() * b.sum()))
+
+    def postprocess(self, key_a, key_b, raw):
+        return float(raw)
+
+
+def make_store(n):
+    store = InMemoryStore()
+    keys = []
+    for i in range(n):
+        key = f"item{i:02d}"
+        store.write(f"{key}.bin", np.full(8, float(i + 1)).tobytes())
+        keys.append(key)
+    return store, keys
+
+
+def accept_pair(a, b):
+    """Module-level pair filter (inherited by forked workers)."""
+    return (int(a[-2:]) + int(b[-2:])) % 3 != 0
+
+
+# ----------------------------------------------------------------------
+# Protocol unit tests (synchronous in-process transport)
+
+
+class SyncNet:
+    """Delivers node-to-node messages synchronously; collects coordinator traffic."""
+
+    def __init__(self):
+        self.servers = {}
+        self.coordinator_log = []
+
+    def transport_for(self, node):
+        return _SyncTransport(self, node)
+
+
+class _SyncTransport:
+    def __init__(self, net, node_id):
+        self.net = net
+        self.node_id = node_id
+
+    def send_node(self, node, msg):
+        self.net.servers[node].handle(msg)
+
+    def send_coordinator(self, msg):
+        self.net.coordinator_log.append(msg)
+
+    def recv(self, timeout):
+        return None
+
+
+class StubPipeline:
+    """Just enough pipeline surface for the comm server's server side."""
+
+    def __init__(self, payloads=None):
+        self.payloads = dict(payloads or {})
+        self.injected = []
+        self.stopped = None
+
+    def host_payload_copy(self, key):
+        return self.payloads.get(key)
+
+    def steal_for_remote(self):
+        return None
+
+    def inject_block(self, block):
+        self.injected.append(block)
+
+    def request_stop(self, abort=False):
+        self.stopped = abort
+
+
+def make_net(n_nodes, keys, payloads_by_node, max_hops=2):
+    net = SyncNet()
+    cfg = ClusterConfig(n_nodes=n_nodes, max_hops=max_hops, fetch_timeout=1.0, steal_timeout=0.2)
+    for node in range(n_nodes):
+        server = NodeCommServer(node, keys, cfg, net.transport_for(node))
+        server.attach(StubPipeline(payloads_by_node.get(node, {})))
+        net.servers[node] = server
+    return net
+
+
+class TestDistributedCacheProtocol:
+    KEYS = [f"k{i}" for i in range(8)]
+
+    def test_first_request_has_no_candidates(self):
+        net = make_net(2, self.KEYS, {})
+        requester = net.servers[0]
+        assert requester.remote_fetch(1) is None
+        assert requester.hops.no_candidates == 1
+        assert requester.hops.requests == 1
+
+    def test_hit_at_first_hop_ships_payload(self):
+        item = 1
+        assert mediator_of(item, 2) == 1
+        payload = np.arange(6.0)
+        net = make_net(2, self.KEYS, {1: {self.KEYS[item]: payload}})
+        # Node 1 requested the item earlier, so the mediator (itself)
+        # lists it as the candidate for future requests.
+        net.servers[1].handle(("creq", 1, item, 999))
+        got = net.servers[0].remote_fetch(item)
+        assert got is not None and np.array_equal(got, payload)
+        assert net.servers[0].hops.hits_at_hop[0] == 1
+        assert net.servers[0].bytes_received == payload.nbytes
+        assert net.servers[1].bytes_shipped == payload.nbytes
+
+    def test_holder_evicted_between_forward_and_fetch_is_a_miss(self):
+        """Churn: the candidate dropped the item; request falls to a load."""
+        item = 1
+        net = make_net(2, self.KEYS, {1: {}})  # node 1 holds nothing any more
+        net.servers[1].handle(("creq", 1, item, 999))  # ...but is still listed
+        assert net.servers[0].remote_fetch(item) is None
+        assert net.servers[0].hops.misses == 1
+        assert net.servers[0].hops.total_hits == 0
+
+    def test_eviction_falls_through_to_next_candidate(self):
+        """Churn along the chain: first candidate evicted, second still holds."""
+        item = 3
+        assert mediator_of(item, 4) == 3
+        payload = np.full(4, 7.0)
+        net = make_net(
+            4,
+            self.KEYS,
+            {2: {}, 1: {self.KEYS[item]: payload}},  # node 2 evicted, node 1 holds
+        )
+        mediator = net.servers[3]
+        mediator.handle(("creq", 1, item, 901))  # node 1 requested first
+        mediator.handle(("creq", 2, item, 902))  # node 2 most recent candidate
+        got = net.servers[0].remote_fetch(item)
+        assert got is not None and np.array_equal(got, payload)
+        # Probe visited node 2 (miss) then node 1: a hit at hop 2.
+        assert net.servers[0].hops.hits_at_hop == [0, 1]
+
+    def test_chain_exhausted_records_miss(self):
+        item = 3
+        net = make_net(4, self.KEYS, {1: {}, 2: {}})
+        mediator = net.servers[3]
+        mediator.handle(("creq", 1, item, 901))
+        mediator.handle(("creq", 2, item, 902))
+        assert net.servers[0].remote_fetch(item) is None
+        assert net.servers[0].hops.misses == 1
+        assert net.servers[0].hops.no_candidates == 0
+
+    def test_mediator_excludes_requester_from_candidates(self):
+        item = 1
+        net = make_net(2, self.KEYS, {})
+        requester = net.servers[0]
+        net.servers[1].handle(("creq", 0, item, 900))  # only node 0 ever asked
+        assert requester.remote_fetch(item) is None
+        # Node 0 must not be forwarded to itself: that is a no-candidate miss.
+        assert requester.hops.no_candidates == 2 - 1  # second request, still none
+
+    def test_message_budget_is_h_plus_2(self):
+        """A full-chain miss costs exactly h + 2 protocol messages."""
+        item = 3
+        h = 2
+        net = make_net(4, self.KEYS, {1: {}, 2: {}}, max_hops=h)
+        mediator = net.servers[3]
+        mediator.handle(("creq", 1, item, 901))
+        mediator.handle(("creq", 2, item, 902))
+        before = sum(s.messages for s in net.servers.values())
+        net.servers[0].remote_fetch(item)
+        spent = sum(s.messages for s in net.servers.values()) - before
+        assert spent == h + 2  # request + h forwards + reply
+
+    def test_late_steal_grant_is_not_lost(self):
+        net = make_net(2, self.KEYS, {})
+        server = net.servers[0]
+        block = PairBlock.root(8)
+        server.handle(("sgrant", 12345, block))  # no pending request: timed out
+        assert server.pipeline.injected == [block]
+
+    def test_stop_wakes_blocked_steal(self):
+        net = make_net(2, self.KEYS, {})
+        server = net.servers[0]
+        out = []
+        t = threading.Thread(target=lambda: out.append(server.global_steal()))
+        t.start()
+        # sreq goes to the coordinator log and nobody answers; stop must wake it.
+        server.handle(("stop", False))
+        t.join(timeout=2.0)
+        assert not t.is_alive() and out == [None]
+        assert server.pipeline.stopped is False
+        assert server.stopped
+
+
+# ----------------------------------------------------------------------
+# End-to-end multi-process tests
+
+
+def run_local(keys, store, **cfg):
+    runtime = LocalRocketRuntime(SumApp(), store, RocketConfig(**cfg))
+    return runtime.run(keys)
+
+
+class TestClusterRuntime:
+    CFG = dict(
+        n_devices=1,
+        device_cache_slots=8,
+        host_cache_slots=16,
+        leaf_size=2,
+        seed=3,
+        watchdog_seconds=120.0,
+    )
+
+    def test_matches_local_backend_and_hits_over_the_wire(self):
+        store, keys = make_store(12)
+        local = run_local(keys, store, **self.CFG)
+
+        runtime = ClusterRocketRuntime(
+            SumApp(),
+            store,
+            RocketConfig(**self.CFG),
+            cluster=ClusterConfig(n_nodes=2, fetch_timeout=20.0, steal_timeout=5.0),
+        )
+        results = runtime.run(keys)
+        assert results.is_complete()
+        for a, b, v in local.items():
+            assert results.get(a, b) == v  # bit-identical: pure pipelines
+
+        stats = runtime.last_stats
+        assert stats is not None
+        assert stats.n_pairs == 66 and stats.n_nodes == 2
+        assert len(stats.node_stats) == 2
+        assert sum(sum(ns.pairs_per_device.values()) for ns in stats.node_stats) == 66
+        # The distributed cache really served data across processes.
+        assert stats.hop_stats.requests > 0
+        assert stats.hop_stats.total_hits >= 1
+        assert stats.bytes_over_wire > 0
+        assert stats.messages >= stats.hop_stats.requests + 2
+        # Every item is loaded from storage at most... once per node.
+        assert stats.loads <= 2 * 12
+        assert "remote hits" in stats.summary()
+
+    def test_single_node_cluster(self):
+        store, keys = make_store(8)
+        runtime = ClusterRocketRuntime(
+            SumApp(), store, RocketConfig(**self.CFG), cluster=ClusterConfig(n_nodes=1)
+        )
+        results = runtime.run(keys)
+        assert results.is_complete()
+        assert runtime.last_stats.hop_stats.requests == 0
+
+    def test_three_nodes_with_tight_caches_survive_churn(self):
+        """Constant eviction: remote requests miss, loads re-run, results hold."""
+        cfg = dict(self.CFG, device_cache_slots=3, host_cache_slots=4)
+        store, keys = make_store(10)
+        local = run_local(keys, store, **cfg)
+        runtime = ClusterRocketRuntime(
+            SumApp(),
+            store,
+            RocketConfig(**cfg),
+            cluster=ClusterConfig(n_nodes=3, fetch_timeout=20.0, steal_timeout=5.0),
+        )
+        results = runtime.run(keys)
+        assert results.is_complete()
+        for a, b, v in local.items():
+            assert results.get(a, b) == v
+        stats = runtime.last_stats
+        assert stats.hop_stats.requests > 0
+        # With 4 host slots for 10 items, some requests must fail and
+        # fall through to local loads.
+        assert stats.hop_stats.misses + stats.hop_stats.no_candidates >= 1
+        assert stats.loads >= 10
+
+    def test_pair_filter(self):
+        store, keys = make_store(9)
+        local = run_local(keys, store, **self.CFG)  # unfiltered sanity baseline
+        assert local.is_complete()
+        runtime = ClusterRocketRuntime(
+            SumApp(), store, RocketConfig(**self.CFG), cluster=ClusterConfig(n_nodes=2)
+        )
+        results = runtime.run(keys, pair_filter=accept_pair)
+        expected = [
+            (a, b) for i, a in enumerate(keys) for b in keys[i + 1:] if accept_pair(a, b)
+        ]
+        assert len(results) == len(expected)
+        for a, b in expected:
+            assert results.get(a, b) == local.get(a, b)
+
+    def test_application_error_propagates_cleanly(self):
+        class BadApp(SumApp):
+            def parse(self, key, file_contents):
+                if key == "item02":
+                    raise ValueError(f"corrupt file for {key}")
+                return super().parse(key, file_contents)
+
+        store, keys = make_store(6)
+        runtime = ClusterRocketRuntime(
+            BadApp(),
+            store,
+            RocketConfig(**dict(self.CFG, watchdog_seconds=60.0)),
+            cluster=ClusterConfig(n_nodes=2),
+        )
+        with pytest.raises(RuntimeError, match="ValueError: corrupt file"):
+            runtime.run(keys)
+
+    def test_node_crash_surfaces_as_clean_error(self):
+        class CrashApp(SumApp):
+            def parse(self, key, file_contents):
+                if key == "item03":
+                    os._exit(3)  # simulate a node dying mid-run
+                return super().parse(key, file_contents)
+
+        store, keys = make_store(6)
+        runtime = ClusterRocketRuntime(
+            CrashApp(),
+            store,
+            RocketConfig(**dict(self.CFG, watchdog_seconds=60.0)),
+            cluster=ClusterConfig(n_nodes=2),
+        )
+        with pytest.raises(RuntimeError, match="died unexpectedly"):
+            runtime.run(keys)
+
+
+# ----------------------------------------------------------------------
+# Backend registry / Rocket integration
+
+
+class TestBackendSelection:
+    def test_registry_lists_both_backends(self):
+        names = available_backends()
+        assert "local" in names and "cluster" in names
+        assert Rocket.backends() == names
+
+    def test_unknown_backend_raises(self):
+        store, keys = make_store(4)
+        with pytest.raises(ValueError, match="unknown backend"):
+            Rocket(SumApp(), store, backend="quantum")
+
+    def test_local_backend_rejects_cluster_options(self):
+        store, keys = make_store(4)
+        with pytest.raises(TypeError, match="no extra options"):
+            Rocket(SumApp(), store, backend="local", n_nodes=2)
+
+    def test_conflicting_node_counts_raise(self):
+        store, keys = make_store(4)
+        with pytest.raises(ValueError, match="conflicting node counts"):
+            create_backend(
+                "cluster", SumApp(), store, RocketConfig(), n_nodes=3,
+                cluster=ClusterConfig(n_nodes=2),
+            )
+
+    def test_rocket_cluster_backend_end_to_end(self):
+        store, keys = make_store(8)
+        rocket = Rocket(
+            SumApp(),
+            store,
+            RocketConfig(n_devices=1, seed=1, watchdog_seconds=120.0),
+            backend="cluster",
+            n_nodes=2,
+        )
+        assert rocket.backend == "cluster"
+        results = rocket.run(keys)
+        assert results.is_complete()
+        assert rocket.last_stats.n_nodes == 2
+
+    def test_cluster_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(max_hops=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(fetch_timeout=0.0)
