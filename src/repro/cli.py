@@ -58,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "--no-distributed-cache", action="store_true",
                 help="disable the third cache level (cluster backend)",
             )
+            p.add_argument(
+                "--transport", choices=["queue", "shm"], default="queue",
+                help="cluster data plane: pickled queues or zero-copy "
+                "shared-memory descriptors",
+            )
+            p.add_argument(
+                "--result-batch", type=int, default=64, metavar="N",
+                help="pair results per coordinator message (cluster backend)",
+            )
 
     run = sub.add_parser("run", help="run a paper application on a selected backend")
     add_run_arguments(run, with_backend=True)
@@ -146,6 +155,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n_nodes=args.nodes,
             max_hops=args.hops,
             distributed_cache=not args.no_distributed_cache,
+            transport=args.transport,
+            result_batch=args.result_batch,
         )
     rocket = Rocket(app, store, config, backend=backend, **options)
     results = rocket.run(keys)

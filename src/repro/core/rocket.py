@@ -13,6 +13,13 @@ execution backend and returns the
   (:class:`~repro.runtime.cluster.ClusterRocketRuntime`); select the
   node count with ``n_nodes=`` or pass a full
   :class:`~repro.runtime.cluster.ClusterConfig` as ``cluster=``.
+  The cluster data plane is pluggable: ``transport="queue"`` (default)
+  pickles cache payloads inline through ``multiprocessing`` queues,
+  ``transport="shm"`` ships zero-copy shared-memory descriptors
+  (:mod:`repro.runtime.transport`); ``result_batch=N`` sets how many
+  pair results ride in one coordinator message —
+  ``Rocket(app, store, backend="cluster", transport="shm",
+  result_batch=128)``.
 
 For cluster-scale *timing* studies (the paper's evaluation), use
 :func:`repro.sim.rocketsim.run_simulation` instead, which runs the same

@@ -22,7 +22,10 @@ same architecture on actual OS threads and processes:
 - :mod:`repro.runtime.cluster` — the multi-process configuration: one
   worker process per node, a live distributed cache level (mediator
   protocol over real IPC), global work stealing through the
-  coordinator, and streamed result gathering;
+  coordinator, and batched result streaming;
+- :mod:`repro.runtime.transport` — the pluggable data plane of the
+  cluster runtime: inline queue shipping (``"queue"``) or zero-copy
+  shared-memory descriptors (``"shm"``);
 - :mod:`repro.runtime.backend` — the backend registry behind
   ``Rocket(..., backend=...)``.
 """
@@ -32,6 +35,7 @@ from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime, ClusterRu
 from repro.runtime.devices import VirtualDevice
 from repro.runtime.localrocket import LocalRocketRuntime, RunStats
 from repro.runtime.pernode import NodePipeline, NodeStats
+from repro.runtime.transport import Transport, TransportFabric, available_transports
 
 __all__ = [
     "VirtualDevice",
@@ -45,4 +49,7 @@ __all__ = [
     "RocketBackend",
     "available_backends",
     "create_backend",
+    "Transport",
+    "TransportFabric",
+    "available_transports",
 ]

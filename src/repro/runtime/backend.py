@@ -52,8 +52,18 @@ class RocketBackend(ABC):
 _FACTORIES: Dict[str, Callable[..., RocketBackend]] = {}
 
 
-def register_backend(name: str, factory: Callable[..., RocketBackend]) -> None:
-    """Register a backend factory under ``name`` (overwrites allowed)."""
+def register_backend(
+    name: str, factory: Callable[..., RocketBackend], overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    Registering a name twice is an error unless ``overwrite=True`` —
+    silently shadowing a backend is almost always a bug in plugin code.
+    """
+    if name in _FACTORIES and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass overwrite=True to replace it"
+        )
     _FACTORIES[name] = factory
 
 
@@ -89,11 +99,15 @@ def _local_factory(app, store, config=None, **options) -> RocketBackend:
 
 
 def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
+    import dataclasses
+
     from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime
     from repro.runtime.localrocket import RocketConfig
 
     cluster = options.pop("cluster", None)
     n_nodes = options.pop("n_nodes", None)
+    transport = options.pop("transport", None)
+    result_batch = options.pop("result_batch", None)
     if options:
         raise TypeError(f"unknown cluster backend options {sorted(options)}")
     if cluster is None:
@@ -102,10 +116,19 @@ def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
         raise ValueError(
             f"conflicting node counts: n_nodes={n_nodes} vs cluster.n_nodes={cluster.n_nodes}"
         )
+    # Data-plane shorthands: ``Rocket(..., transport="shm")`` overrides
+    # the (or a default) ClusterConfig.
+    overrides = {}
+    if transport is not None:
+        overrides["transport"] = transport
+    if result_batch is not None:
+        overrides["result_batch"] = result_batch
+    if overrides:
+        cluster = dataclasses.replace(cluster, **overrides)
     return ClusterRocketRuntime(
         app, store, config if config is not None else RocketConfig(), cluster=cluster
     )
 
 
-register_backend("local", _local_factory)
-register_backend("cluster", _cluster_factory)
+register_backend("local", _local_factory, overwrite=True)
+register_backend("cluster", _cluster_factory, overwrite=True)

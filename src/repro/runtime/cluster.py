@@ -21,26 +21,29 @@ cross-node mechanisms of the paper for real:
    :class:`~repro.scheduling.workstealing.VictimSelector` global tier.
 
 3. **Result gathering** — completed pairs stream back to the
-   coordinator, which assembles the final
-   :class:`~repro.core.result.ResultMatrix` and a
+   coordinator in batched result blocks
+   (:class:`~repro.runtime.transport.ResultBatcher`); the coordinator
+   assembles the final :class:`~repro.core.result.ResultMatrix` and a
    :class:`ClusterRunStats` (per-node stats, aggregated hop histogram,
-   bytes over the wire).
+   bytes and messages over the wire, per-kind message counts).
 
-Every inter-process message travels over per-node ``multiprocessing``
-queues (pipes underneath); payload arrays are genuinely serialised and
-shipped between address spaces.  The default ``fork`` start method
-shares the application/store objects with the children at no cost; with
-``spawn`` they must be picklable.
+*How* bytes move between the processes is delegated to a pluggable
+:class:`~repro.runtime.transport.Transport`
+(``ClusterConfig(transport=...)``): the ``"queue"`` transport pickles
+payloads inline through per-node ``multiprocessing`` queues, the
+``"shm"`` transport keeps payloads in coordinator-owned shared-memory
+segments and ships only small descriptors.  The default ``fork`` start
+method shares the application/store objects with the children at no
+cost; with ``spawn`` they must be picklable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import queue
 import threading
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,6 +55,14 @@ from repro.data.filestore import FileStore
 from repro.runtime.backend import RocketBackend
 from repro.runtime.localrocket import RocketConfig, count_pairs
 from repro.runtime.pernode import NodePipeline, NodeStats
+from repro.runtime.transport import (
+    QueueTransport,
+    ResultBatcher,
+    Transport,
+    TransportFabric,
+    available_transports,
+    create_fabric,
+)
 from repro.scheduling.quadtree import PairBlock
 from repro.scheduling.workstealing import VictimSelector, WorkerTopology
 from repro.util.rng import RngFactory
@@ -64,6 +75,7 @@ __all__ = [
     "NodeCommServer",
     "QueueTransport",
     "NodeReport",
+    "MESSAGE_KINDS",
 ]
 
 
@@ -86,6 +98,17 @@ class ClusterConfig:
     #: ``multiprocessing`` start method; ``fork`` shares the app/store
     #: objects with the children, ``spawn`` requires them picklable.
     start_method: str = "fork"
+    #: Data-plane implementation (see :mod:`repro.runtime.transport`):
+    #: ``"queue"`` pickles payloads inline, ``"shm"`` ships shared-memory
+    #: descriptors.
+    transport: str = "queue"
+    #: Pair results per ``("results", ...)`` coordinator message;
+    #: 1 reproduces the old one-message-per-pair behaviour.
+    result_batch: int = 64
+    #: Per-node shared-segment size for the ``"shm"`` transport.  The
+    #: segment is sparse until written, so generous defaults cost
+    #: nothing on Linux.
+    shm_segment_bytes: int = 32 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -94,6 +117,36 @@ class ClusterConfig:
             raise ValueError(f"max_hops (h) must be >= 1, got {self.max_hops}")
         if self.fetch_timeout <= 0 or self.steal_timeout <= 0 or self.poll_interval <= 0:
             raise ValueError("timeouts must be positive")
+        if self.result_batch < 1:
+            raise ValueError(f"result_batch must be >= 1, got {self.result_batch}")
+        if self.shm_segment_bytes < 65536:
+            raise ValueError(
+                f"shm_segment_bytes must be >= 65536, got {self.shm_segment_bytes}"
+            )
+
+
+#: Stats categories of the coordinator/protocol messages.
+MESSAGE_KINDS = ("fetch", "grant", "result", "control")
+
+#: Message tag -> stats category.  ``fetch`` covers the distributed
+#: cache (including shm slot releases), ``grant`` the global-steal
+#: protocol, ``result`` the batched result blocks, ``control`` the
+#: stop/error/stats lifecycle traffic.
+_KIND_OF = {
+    "creq": "fetch",
+    "cprobe": "fetch",
+    "crep": "fetch",
+    "pfree": "fetch",
+    "sreq": "grant",
+    "sprobe": "grant",
+    "srep": "grant",
+    "sgrant": "grant",
+    "results": "result",
+    "result": "result",
+    "stats": "control",
+    "error": "control",
+    "stop": "control",
+}
 
 
 @dataclass
@@ -113,16 +166,25 @@ class ClusterRunStats:
     bytes_over_wire: int
     #: Control-plane messages of the cache + steal protocols.
     messages: int
+    #: Messages broken down by category (see :data:`MESSAGE_KINDS`).
+    message_kinds: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in MESSAGE_KINDS}
+    )
+    #: Data-plane implementation the run used ("queue", "shm", ...).
+    transport: str = "queue"
 
     def summary(self) -> str:
         """Short human-readable digest."""
         hs = self.hop_stats
+        kinds = "/".join(f"{self.message_kinds.get(k, 0)} {k}" for k in MESSAGE_KINDS)
         return (
             f"{self.n_pairs} pairs / {self.n_items} items on {self.n_nodes} nodes "
             f"in {self.runtime:.2f}s ({self.throughput:.1f} pairs/s); "
             f"loads={self.loads} (R={self.reuse_factor:.2f}); "
             f"distributed cache: {hs.total_hits}/{hs.requests} remote hits, "
-            f"{self.bytes_over_wire / 1e6:.2f} MB over wire, {self.messages} messages; "
+            f"{self.bytes_over_wire / 1e6:.2f} MB over wire "
+            f"[{self.transport} transport], "
+            f"{self.messages} messages ({kinds}); "
             f"remote steals={self.remote_steals}"
         )
 
@@ -136,35 +198,9 @@ class NodeReport:
     bytes_shipped: int
     bytes_received: int
     messages: int
-
-
-# ----------------------------------------------------------------------
-# Transport
-
-
-class QueueTransport:
-    """Point-to-point messaging over per-node inbox queues.
-
-    Works with ``multiprocessing`` queues in the real runtime and with
-    any object exposing ``put`` / ``get(timeout=)`` in tests.
-    """
-
-    def __init__(self, node_id: int, inboxes: Sequence[Any], coordinator: Any) -> None:
-        self.node_id = node_id
-        self._inboxes = list(inboxes)
-        self._coordinator = coordinator
-
-    def send_node(self, node: int, msg: Tuple) -> None:
-        self._inboxes[node].put(msg)
-
-    def send_coordinator(self, msg: Tuple) -> None:
-        self._coordinator.put(msg)
-
-    def recv(self, timeout: float) -> Optional[Tuple]:
-        try:
-            return self._inboxes[self.node_id].get(timeout=timeout)
-        except queue.Empty:
-            return None
+    message_kinds: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in MESSAGE_KINDS}
+    )
 
 
 # ----------------------------------------------------------------------
@@ -192,8 +228,13 @@ class NodeCommServer:
     state (:class:`~repro.cache.distributed.CandidateDirectory`) and
     serve remote requests against the attached pipeline's host cache;
     :meth:`remote_fetch` / :meth:`global_steal` are the blocking
-    client calls the pipeline's worker threads invoke.  The class is
-    transport-agnostic so the protocol is unit-testable in-process.
+    client calls the pipeline's worker threads invoke, and
+    :meth:`emit_result` is the pipeline's result hook (batched through
+    a :class:`~repro.runtime.transport.ResultBatcher`).  Payload
+    packing/unpacking is delegated to the
+    :class:`~repro.runtime.transport.Transport`, so the same protocol
+    code runs over inline queues or shared-memory descriptors — and is
+    unit-testable over a synchronous in-process transport.
     """
 
     def __init__(
@@ -201,7 +242,7 @@ class NodeCommServer:
         node_id: int,
         keys: Sequence[Hashable],
         cluster: ClusterConfig,
-        transport: QueueTransport,
+        transport: Transport,
     ) -> None:
         self.node_id = node_id
         self.keys = list(keys)
@@ -213,6 +254,7 @@ class NodeCommServer:
         self.bytes_shipped = 0
         self.bytes_received = 0
         self.messages = 0
+        self.message_kinds: Dict[str, int] = {k: 0 for k in MESSAGE_KINDS}
         self.remote_abort = False
         self._stats_lock = threading.Lock()
         self._pending: Dict[int, _Pending] = {}
@@ -220,6 +262,12 @@ class NodeCommServer:
         self._next_id = 0
         self._stop_received = threading.Event()
         self._shutdown = threading.Event()
+        self.batcher = ResultBatcher(
+            self._send_coordinator,
+            node_id,
+            cluster.result_batch,
+            max_delay=cluster.poll_interval,
+        )
 
     # -- wiring ----------------------------------------------------------
 
@@ -235,15 +283,26 @@ class NodeCommServer:
     def serve(self) -> None:
         """Inbox loop (comm thread body); runs until :meth:`finish`.
 
-        After a stop message the loop keeps *draining* the inbox —
-        discarding late probes and replies — so that peer processes
-        never block on a full pipe while shutting down.
+        Each tick also pushes out aged partial result batches, so the
+        coordinator's completion count trails the pipeline by at most
+        one poll interval.  After a stop message the loop keeps
+        *draining* the inbox — discarding late probes and replies, but
+        still releasing shared-memory slots — so that peer processes
+        never block on a full pipe or leak pool space while shutting
+        down.
         """
         while not self._shutdown.is_set():
             msg = self.transport.recv(self.cluster.poll_interval)
+            if not self._stop_received.is_set():
+                self.batcher.maybe_flush()
             if msg is None:
                 continue
             if self._stop_received.is_set():
+                if msg[0] in ("crep", "pfree"):
+                    try:
+                        self._reclaim_late(msg)
+                    except Exception:
+                        pass
                 continue
             try:
                 self.handle(msg)
@@ -255,6 +314,13 @@ class NodeCommServer:
     def finish(self) -> None:
         """Exit the serve loop (call just before the process exits)."""
         self._shutdown.set()
+
+    def _reclaim_late(self, msg: Tuple) -> None:
+        """Free payload slots carried by messages drained after a stop."""
+        if msg[0] == "pfree":
+            self.transport.handle_free(msg)
+        elif msg[2] is not None:  # late crep: release without copying
+            self.transport.release_payload(msg[2], self.transport.send_node)
 
     # -- client side (called from worker threads) ------------------------
 
@@ -269,15 +335,27 @@ class NodeCommServer:
         with self._pending_lock:
             return self._pending.pop(req_id, None)
 
-    def _send_node(self, node: int, msg: Tuple) -> None:
+    def _count_send(self, msg: Tuple) -> None:
+        kind = _KIND_OF.get(msg[0], "control")
         with self._stats_lock:
             self.messages += 1
+            self.message_kinds[kind] += 1
+
+    def _send_node(self, node: int, msg: Tuple) -> None:
+        self._count_send(msg)
         self.transport.send_node(node, msg)
 
     def _send_coordinator(self, msg: Tuple) -> None:
-        with self._stats_lock:
-            self.messages += 1
+        self._count_send(msg)
         self.transport.send_coordinator(msg)
+
+    def emit_result(self, i: int, j: int, value: Any) -> None:
+        """Pipeline result hook: batch the pair for the coordinator."""
+        self.batcher.emit(i, j, value)
+
+    def flush_results(self) -> None:
+        """Push out any buffered results (node shutdown)."""
+        self.batcher.flush()
 
     def remote_fetch(self, idx: int) -> Optional[np.ndarray]:
         """Third-cache-level request for item ``idx`` (blocking).
@@ -298,13 +376,13 @@ class NodeCommServer:
             return None
         if pend.result is None:  # woken by stop
             return None
-        payload, hop, _provider = pend.result
+        payload, hop, _provider, wire = pend.result
         with self._stats_lock:
             if payload is None:
                 self.hops.record_miss(had_candidates=(hop != 0))
             else:
                 self.hops.record_hit(hop)
-                self.bytes_received += payload.nbytes
+                self.bytes_received += wire
         return payload
 
     def global_steal(self) -> Optional[PairBlock]:
@@ -340,14 +418,15 @@ class NodeCommServer:
             # Candidate step: serve from the host cache or forward.
             _, requester, idx, req_id, rest, hop = msg
             payload = (
-                self.pipeline.host_payload_copy(self.keys[idx])
+                self.pipeline.host_payload_view(self.keys[idx])
                 if self.pipeline is not None
                 else None
             )
             if payload is not None:
+                packed = self.transport.pack_payload(payload)
                 with self._stats_lock:
-                    self.bytes_shipped += payload.nbytes
-                self._send_node(requester, ("crep", req_id, payload, hop, self.node_id))
+                    self.bytes_shipped += self.transport.wire_bytes(packed)
+                self._send_node(requester, ("crep", req_id, packed, hop, self.node_id))
             elif rest:
                 self._send_node(
                     rest[0], ("cprobe", requester, idx, req_id, tuple(rest[1:]), hop + 1)
@@ -356,12 +435,25 @@ class NodeCommServer:
                 # Chain exhausted: the requester must load locally.
                 self._send_node(requester, ("crep", req_id, None, -1, -1))
         elif kind == "crep":
-            _, req_id, payload, hop, provider = msg
+            _, req_id, packed, hop, provider = msg
             pend = self._pop_pending(req_id)
-            if pend is not None:
-                pend.resolve((payload, hop, provider))
-            # A reply landing after the requester timed out is dropped:
-            # the requester already fell back to a local load.
+            if pend is None:
+                # The requester timed out and already fell back to a
+                # local load: release any out-of-band slot without
+                # paying for the payload copy.
+                if packed is not None:
+                    self.transport.release_payload(packed, self._send_node)
+                return
+            wire = self.transport.wire_bytes(packed) if packed is not None else 0
+            payload = (
+                self.transport.unpack_payload(packed, self._send_node)
+                if packed is not None
+                else None
+            )
+            pend.resolve((payload, hop, provider, wire))
+        elif kind == "pfree":
+            # A receiver finished copying a shared-memory payload.
+            self.transport.handle_free(msg)
         elif kind == "sprobe":
             _, thief, req_id = msg
             block = self.pipeline.steal_for_remote() if self.pipeline is not None else None
@@ -396,7 +488,13 @@ class NodeCommServer:
                 bytes_shipped=self.bytes_shipped,
                 bytes_received=self.bytes_received,
                 messages=self.messages,
+                message_kinds=dict(self.message_kinds),
             )
+
+    def ship_stats(self, stats: NodeStats) -> None:
+        """Send the final stats report (counting the message itself)."""
+        self._count_send(("stats",))
+        self.transport.send_coordinator(("stats", self.node_id, self.report(stats)))
 
 
 # ----------------------------------------------------------------------
@@ -415,11 +513,10 @@ def _node_main(
     cluster: ClusterConfig,
     keys: List[Hashable],
     pair_filter,
-    inboxes: List[Any],
-    coordinator: Any,
+    fabric: TransportFabric,
 ) -> None:
     """Entry point of one worker process (one simulated cluster node)."""
-    transport = QueueTransport(node_id, inboxes, coordinator)
+    transport = fabric.endpoint(node_id)
     try:
         comm = NodeCommServer(node_id, keys, cluster, transport)
         multi = cluster.n_nodes > 1
@@ -429,7 +526,7 @@ def _node_main(
             config,
             keys,
             pair_filter=pair_filter,
-            emit_result=lambda i, j, v: transport.send_coordinator(("result", node_id, i, j, v)),
+            emit_result=comm.emit_result,
             node_id=node_id,
             device_prefix=f"n{node_id}.gpu",
             rngs=RngFactory(config.seed + 7919 * (node_id + 1)),
@@ -446,17 +543,19 @@ def _node_main(
         # Slightly above the coordinator's watchdog so the coordinator
         # reports the timeout first with full progress information.
         finished = pipeline.wait(config.watchdog_seconds + 30.0)
+        comm.flush_results()
         if pipeline.errors and not comm.remote_abort:
-            transport.send_coordinator(
+            comm._send_coordinator(
                 ("error", node_id, _format_error(pipeline.errors[0]))
             )
         elif not finished:
-            transport.send_coordinator(("error", node_id, "node watchdog expired"))
+            comm._send_coordinator(("error", node_id, "node watchdog expired"))
         pipeline.join(timeout=5.0)
         pipeline.close()
-        transport.send_coordinator(("stats", node_id, comm.report(pipeline.stats())))
+        comm.ship_stats(pipeline.stats())
         comm.finish()
         comm_thread.join(timeout=2.0)
+        transport.close()
     except BaseException:  # noqa: BLE001 - last-resort report to the coordinator
         try:
             transport.send_coordinator(("error", node_id, traceback.format_exc()))
@@ -485,6 +584,11 @@ class ClusterRocketRuntime(RocketBackend):
         self.config = config
         self.cluster = cluster
         self.last_stats: Optional[ClusterRunStats] = None
+        if cluster.transport not in available_transports():
+            raise ValueError(
+                f"unknown transport {cluster.transport!r}; "
+                f"available: {', '.join(available_transports())}"
+            )
 
     # ------------------------------------------------------------------
 
@@ -509,12 +613,11 @@ class ClusterRocketRuntime(RocketBackend):
                 f"on this platform"
             ) from exc
 
-        inboxes = [ctx.Queue() for _ in range(cl.n_nodes)]
-        coord_q = ctx.Queue()
+        fabric = create_fabric(cl.transport, ctx, cl)
         procs = [
             ctx.Process(
                 target=_node_main,
-                args=(i, self.app, self.store, cfg, cl, keys, pair_filter, inboxes, coord_q),
+                args=(i, self.app, self.store, cfg, cl, keys, pair_filter, fabric),
                 name=f"rocket-node{i}",
                 daemon=True,
             )
@@ -532,11 +635,11 @@ class ClusterRocketRuntime(RocketBackend):
         stopped = False
 
         def broadcast_stop(abort: bool) -> None:
-            for q in inboxes:
+            for node in range(cl.n_nodes):
                 try:
-                    q.put(("stop", abort))
+                    fabric.send_node(node, ("stop", abort))
                 except Exception:
-                    pass
+                    pass  # a crashed node's queue may already be broken
 
         def victim_order(thief: int) -> List[int]:
             """Remote-node probe order from the global VictimSelector tier."""
@@ -549,7 +652,7 @@ class ClusterRocketRuntime(RocketBackend):
 
         def grant(thief: int, req_id: int, block: Optional[PairBlock]) -> None:
             nonlocal remote_steals
-            inboxes[thief].put(("sgrant", req_id, block))
+            fabric.send_node(thief, ("sgrant", req_id, block))
             if block is not None:
                 remote_steals += 1
 
@@ -557,21 +660,29 @@ class ClusterRocketRuntime(RocketBackend):
             thief, req_id = key
             victims = pending_steals[key]
             if victims:
-                inboxes[victims.pop(0)].put(("sprobe", thief, req_id))
+                fabric.send_node(victims.pop(0), ("sprobe", thief, req_id))
             else:
                 del pending_steals[key]
                 grant(thief, req_id, None)
 
+        def record_result(i: int, j: int, value: Any) -> None:
+            nonlocal completed, stopped
+            results.set(keys[i], keys[j], value)
+            completed += 1
+            if completed == total_pairs and not stopped:
+                stopped = True
+                broadcast_stop(False)
+
         def dispatch(msg: Tuple) -> None:
-            nonlocal completed, error, stopped
+            nonlocal error, stopped
             kind = msg[0]
-            if kind == "result":
+            if kind == "results":
+                _, _node, block = msg
+                for i, j, value in block:
+                    record_result(i, j, value)
+            elif kind == "result":
                 _, _node, i, j, value = msg
-                results.set(keys[i], keys[j], value)
-                completed += 1
-                if completed == total_pairs and not stopped:
-                    stopped = True
-                    broadcast_stop(False)
+                record_result(i, j, value)
             elif kind == "sreq":
                 _, thief, req_id = msg
                 if stopped:
@@ -617,9 +728,8 @@ class ClusterRocketRuntime(RocketBackend):
                         f"completed {completed}/{total_pairs} pairs"
                     )
                     break
-                try:
-                    msg = coord_q.get(timeout=cl.poll_interval)
-                except queue.Empty:
+                msg = fabric.recv_coordinator(cl.poll_interval)
+                if msg is None:
                     dead = [
                         (i, p)
                         for i, p in enumerate(procs)
@@ -629,10 +739,10 @@ class ClusterRocketRuntime(RocketBackend):
                         # Give any in-flight error/stats message priority
                         # over the generic crash report.
                         while error is None:
-                            try:
-                                dispatch(coord_q.get_nowait())
-                            except queue.Empty:
+                            late = fabric.recv_coordinator(0.001)
+                            if late is None:
                                 break
+                            dispatch(late)
                         dead = [
                             (i, p)
                             for i, p in enumerate(procs)
@@ -662,9 +772,10 @@ class ClusterRocketRuntime(RocketBackend):
                 if p.is_alive():
                     p.terminate()
                     p.join(timeout=2.0)
-            for q in [*inboxes, coord_q]:
-                q.cancel_join_thread()
-                q.close()
+            # Tears down queues and unlinks shared segments — runs on
+            # every exit path, so a crashed node cannot leak /dev/shm
+            # entries.
+            fabric.shutdown()
         runtime = time.perf_counter() - start
 
         if error is not None:
@@ -677,6 +788,7 @@ class ClusterRocketRuntime(RocketBackend):
 
         hop_stats = HopStats(cl.max_hops)
         node_stats: List[NodeStats] = []
+        message_kinds = {k: 0 for k in MESSAGE_KINDS}
         loads = bytes_over_wire = messages = 0
         for i in sorted(reports):
             rep = reports[i]
@@ -688,6 +800,8 @@ class ClusterRocketRuntime(RocketBackend):
             hop_stats.no_candidates += rep.hops.no_candidates
             bytes_over_wire += rep.bytes_shipped
             messages += rep.messages
+            for kind, count in rep.message_kinds.items():
+                message_kinds[kind] = message_kinds.get(kind, 0) + count
 
         self.last_stats = ClusterRunStats(
             runtime=runtime,
@@ -702,5 +816,7 @@ class ClusterRocketRuntime(RocketBackend):
             remote_steals=remote_steals,
             bytes_over_wire=bytes_over_wire,
             messages=messages,
+            message_kinds=message_kinds,
+            transport=cl.transport,
         )
         return results

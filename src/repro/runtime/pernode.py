@@ -282,21 +282,31 @@ class NodePipeline:
 
     # -- services for the cluster comm layer -----------------------------
 
-    def host_payload_copy(self, key: Hashable) -> Optional[np.ndarray]:
-        """Copy of ``key``'s host-cache payload, or None if not readable.
+    def host_payload_view(self, key: Hashable) -> Optional[np.ndarray]:
+        """Read-only view of ``key``'s host-cache payload, or None.
 
         Called from the cluster comm thread to serve remote fetches; a
         slot still being written (or already evicted) is reported as
         absent — the request then falls through to the next candidate.
+
+        The view is served under a pin (refreshing recency like a local
+        hit) and stays valid after eviction: published payloads are
+        never mutated in place and the view keeps the backing array
+        alive, so no deep copy is needed — the transport copies the
+        bytes exactly once, straight onto the wire or into a shared
+        segment.
         """
         with self.host_cond:
             slot = self.host_cache.peek(key)
             if slot is None or slot.state is not SlotState.READ:
                 return None
             self.host_cache.pin(slot)  # refresh recency like a local hit
-            payload = np.array(slot.payload, copy=True)
-            self.host_cache.unpin(slot)
-            return payload
+            try:
+                view = slot.payload.view()
+                view.setflags(write=False)
+            finally:
+                self.host_cache.unpin(slot)
+            return view
 
     def steal_for_remote(self) -> Optional[PairBlock]:
         """Give up one block (largest available) to a remote thief."""

@@ -1,0 +1,258 @@
+"""The transport abstraction of the cluster data plane.
+
+The multi-process runtime separates *what* the protocols say (the
+mediator/steal/result messages handled by
+:class:`~repro.runtime.cluster.NodeCommServer`) from *how bytes move
+between processes*.  The latter is this module's job, split into two
+interfaces so the wire format is swappable and benchmarkable (the
+pluggable-runner pattern of pipeline frameworks):
+
+- :class:`TransportFabric` — the coordinator-side object.  It owns the
+  shared communication resources (queues, shared-memory segments), is
+  created before the worker processes fork/spawn, hands each worker its
+  endpoint via :meth:`TransportFabric.endpoint`, and tears everything
+  down — including unlinking shared segments after a node crash — in
+  :meth:`TransportFabric.shutdown`;
+
+- :class:`Transport` — one node's endpoint: point-to-point messaging
+  (``send_node`` / ``send_coordinator`` / ``recv``) plus the *payload
+  plane* hooks (``pack_payload`` / ``unpack_payload`` / ``wire_bytes``)
+  that decide whether a cache payload travels inline (pickled through
+  the message, the queue transport) or out-of-band (a shared-memory
+  descriptor, the zero-copy transport).
+
+The base class implements the inline payload plane, so a transport
+that only cares about messaging (tests, the queue transport) overrides
+nothing else.  Concrete fabrics register themselves in a name registry
+mirroring :mod:`repro.runtime.backend`, which is what makes
+``ClusterConfig(transport="shm")`` and ``run --transport shm`` work
+without imports at the call site.
+
+:class:`ResultBatcher` lives here too: it turns the per-pair
+``emit_result`` stream of :class:`~repro.runtime.pernode.NodePipeline`
+into flushed ``("results", node, block)`` messages, dropping
+coordinator traffic from O(pairs) to O(pairs / batch) on any transport.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Transport",
+    "TransportFabric",
+    "ResultBatcher",
+    "available_transports",
+    "create_fabric",
+    "register_transport",
+]
+
+
+class Transport(ABC):
+    """One node's endpoint of the cluster data plane.
+
+    Messaging is abstract; the payload plane defaults to *inline*
+    shipping (the payload array rides in the message and is pickled by
+    whatever carries the message).  Zero-copy transports override the
+    three payload hooks and :meth:`handle_free`.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    # -- messaging -------------------------------------------------------
+
+    @abstractmethod
+    def send_node(self, node: int, msg: Tuple) -> None:
+        """Deliver ``msg`` to node ``node``'s inbox."""
+
+    @abstractmethod
+    def send_coordinator(self, msg: Tuple) -> None:
+        """Deliver ``msg`` to the coordinator."""
+
+    @abstractmethod
+    def recv(self, timeout: float) -> Optional[Tuple]:
+        """Next message for this node, or None after ``timeout`` seconds."""
+
+    # -- payload plane ---------------------------------------------------
+
+    def pack_payload(self, arr: np.ndarray) -> Any:
+        """Prepare a cache payload for shipping inside a message.
+
+        Returns either the array itself (inline) or a small descriptor
+        whose bytes live out-of-band; the result must be picklable.
+        """
+        return arr
+
+    def unpack_payload(
+        self, packed: Any, send_node: Callable[[int, Tuple], None]
+    ) -> Optional[np.ndarray]:
+        """Materialise a packed payload on the receiving node.
+
+        ``send_node`` lets descriptor transports send their release
+        message through the caller (so protocol accounting sees it).
+        """
+        return packed
+
+    def release_payload(
+        self, packed: Any, send_node: Callable[[int, Tuple], None]
+    ) -> None:
+        """Discard a packed payload without materialising it.
+
+        Used for replies that arrive after the requester gave up: a
+        descriptor transport frees the out-of-band slot (no payload
+        copy); inline payloads need nothing.
+        """
+
+    def wire_bytes(self, packed: Any) -> int:
+        """Bytes this packed payload puts on the message wire."""
+        if isinstance(packed, np.ndarray):
+            return int(packed.nbytes)
+        return 0
+
+    def handle_free(self, msg: Tuple) -> None:
+        """Process a payload-slot release message (descriptor transports)."""
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release endpoint-local resources (called at node shutdown)."""
+
+
+class TransportFabric(ABC):
+    """Coordinator-side owner of one run's communication resources.
+
+    Created in the coordinator *before* the worker processes start so
+    every shared resource (queue, segment) has a single owner that can
+    clean up deterministically — even when workers crash.
+    """
+
+    @abstractmethod
+    def endpoint(self, node_id: int) -> Transport:
+        """Build node ``node_id``'s endpoint (called inside the worker)."""
+
+    @abstractmethod
+    def send_node(self, node: int, msg: Tuple) -> None:
+        """Coordinator-to-node message (steal probes, grants, stop).
+
+        Raises when delivery fails so messages carrying state (steal
+        grants) are never dropped silently; best-effort callers catch.
+        """
+
+    @abstractmethod
+    def recv_coordinator(self, timeout: float) -> Optional[Tuple]:
+        """Next node-to-coordinator message, or None after ``timeout``."""
+
+    @abstractmethod
+    def shutdown(self) -> None:
+        """Tear down all shared resources (idempotent; crash-safe)."""
+
+
+# ----------------------------------------------------------------------
+# Result batching
+
+
+class ResultBatcher:
+    """Coalesce per-pair results into flushed ``("results", ...)`` blocks.
+
+    ``emit`` is called from the pipeline's job threads; a full batch is
+    sent inline from the emitting thread.  Partial batches are pushed
+    out by :meth:`maybe_flush`, which the node's comm loop calls every
+    poll tick, so the coordinator's completion count never stalls more
+    than one tick behind the pipeline.  ``batch_size=1`` reproduces the
+    old one-message-per-pair behaviour exactly.
+    """
+
+    def __init__(
+        self,
+        send: Callable[[Tuple], None],
+        node_id: int,
+        batch_size: int,
+        max_delay: float = 0.05,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._send = send
+        self.node_id = node_id
+        self.batch_size = batch_size
+        self.max_delay = max_delay
+        self._lock = threading.Lock()
+        self._buf: List[Tuple[int, int, Any]] = []
+        self._oldest = 0.0
+        self.batches_sent = 0
+        self.results_sent = 0
+
+    def emit(self, i: int, j: int, value: Any) -> None:
+        """Queue one pair result; flushes when the batch fills."""
+        with self._lock:
+            if not self._buf:
+                self._oldest = time.monotonic()
+            self._buf.append((i, j, value))
+            block = self._take_locked() if len(self._buf) >= self.batch_size else None
+        if block:
+            self._ship(block)
+
+    def maybe_flush(self) -> None:
+        """Flush a partial batch older than ``max_delay`` (comm-loop tick)."""
+        with self._lock:
+            if not self._buf or time.monotonic() - self._oldest < self.max_delay:
+                return
+            block = self._take_locked()
+        self._ship(block)
+
+    def flush(self) -> None:
+        """Flush whatever is buffered (node shutdown)."""
+        with self._lock:
+            block = self._take_locked()
+        if block:
+            self._ship(block)
+
+    def _take_locked(self) -> Tuple[Tuple[int, int, Any], ...]:
+        block, self._buf = tuple(self._buf), []
+        return block
+
+    def _ship(self, block: Tuple[Tuple[int, int, Any], ...]) -> None:
+        self.batches_sent += 1
+        self.results_sent += len(block)
+        self._send(("results", self.node_id, block))
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+_FABRICS: Dict[str, Callable[..., TransportFabric]] = {}
+
+
+def register_transport(
+    name: str, factory: Callable[..., TransportFabric], overwrite: bool = False
+) -> None:
+    """Register a fabric factory ``(ctx, cluster_config) -> fabric``."""
+    if name in _FABRICS and not overwrite:
+        raise ValueError(f"transport {name!r} is already registered")
+    _FABRICS[name] = factory
+
+
+def available_transports() -> Tuple[str, ...]:
+    """Names of the registered transports, sorted."""
+    return tuple(sorted(_FABRICS))
+
+
+def create_fabric(name: str, ctx, cluster) -> TransportFabric:
+    """Instantiate transport ``name`` for one cluster run.
+
+    ``ctx`` is the ``multiprocessing`` context, ``cluster`` the
+    :class:`~repro.runtime.cluster.ClusterConfig` (node count, segment
+    sizing, timeouts).
+    """
+    try:
+        factory = _FABRICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {name!r}; available: {', '.join(available_transports())}"
+        ) from None
+    return factory(ctx, cluster)

@@ -1,0 +1,230 @@
+"""Zero-copy payload plane over ``multiprocessing.shared_memory``.
+
+With the queue transport, every remote cache hit pickles the full
+pre-processed NumPy array through a pipe: provider copy → pickle →
+pipe write → pipe read → unpickle.  Here the payload plane is replaced
+by shared segments:
+
+- the coordinator creates one fixed-size segment *per node* before the
+  workers start (so the parent owns every name and can unlink them all
+  at teardown, even after a node crash — no leaked ``/dev/shm``
+  entries);
+- a provider serving a remote fetch allocates a slot from the
+  :class:`~repro.core.buffers.BufferPool` over *its own* segment,
+  writes the payload with one memcpy, and ships a tiny
+  :class:`ShmDescriptor` ``(segment, offset, shape, dtype)`` instead of
+  the array — the message wire carries ~100 bytes regardless of
+  payload size;
+- the requester maps the provider's segment (attached once, cached),
+  copies the payload out, and returns the slot with a ``("pfree", ...)``
+  message to the owner.  A reply that lands after the requester timed
+  out is freed the same way, so abandoned slots only live until the
+  next drain.
+
+When a pool is exhausted the provider falls back to inline shipping
+(the queue behaviour), trading bytes for progress — allocation failure
+is never an error.  Segment ownership stays with the coordinator
+throughout; Python's ``resource_tracker`` (shared by all workers)
+remains a last-resort safety net if the coordinator itself is killed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import uuid
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.buffers import BufferPool
+from repro.runtime.transport.base import Transport
+from repro.runtime.transport.queues import QueueFabric, QueueTransport
+
+__all__ = ["ShmDescriptor", "SharedMemoryTransport", "SharedMemoryFabric"]
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Out-of-band payload handle: where the bytes live, not the bytes.
+
+    ``owner`` is the node whose segment (and pool slot) holds the
+    payload; the receiver's release message goes back to it.
+    """
+
+    owner: int
+    segment: str
+    offset: int
+    nbytes: int
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership.
+
+    On 3.9-3.12 attaching re-registers the segment with the
+    ``resource_tracker`` (bpo-39959), but workers share the
+    coordinator's tracker process (inherited under ``fork``, passed via
+    ``--tracker-fd`` under ``spawn``), so the re-registration is a
+    set-add no-op and the coordinator's unlink unregisters exactly
+    once.  Unregistering here would *remove* the coordinator's own
+    registration and break the tracker's crash safety net, so we
+    deliberately leave tracking alone.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class SharedMemoryTransport(QueueTransport):
+    """Queue messaging + shared-memory payload plane for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        inboxes,
+        coordinator,
+        segment_names: List[str],
+        segment_bytes: int,
+    ) -> None:
+        super().__init__(node_id, inboxes, coordinator)
+        self._segment_names = list(segment_names)
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._own = self._attach_segment(self._segment_names[node_id])
+        self.pool = BufferPool(segment_bytes)
+
+    def _attach_segment(self, name: str) -> shared_memory.SharedMemory:
+        seg = self._segments.get(name)
+        if seg is None:
+            seg = self._segments[name] = _attach(name)
+        return seg
+
+    # -- payload plane ---------------------------------------------------
+
+    def pack_payload(self, arr: np.ndarray) -> Any:
+        """Write ``arr`` into this node's segment; descriptor or fallback."""
+        if arr.dtype.hasobject:
+            return arr  # not byte-addressable; ship inline
+        src = np.ascontiguousarray(arr)
+        offset = self.pool.alloc(src.nbytes)
+        if offset is None:
+            return arr  # pool exhausted; ship inline
+        dst = np.ndarray(src.shape, dtype=src.dtype, buffer=self._own.buf, offset=offset)
+        dst[...] = src
+        return ShmDescriptor(
+            owner=self.node_id,
+            segment=self._own.name,
+            offset=offset,
+            nbytes=int(src.nbytes),
+            dtype=src.dtype.str,
+            shape=tuple(src.shape),
+        )
+
+    def unpack_payload(
+        self, packed: Any, send_node: Callable[[int, Tuple], None]
+    ) -> Optional[np.ndarray]:
+        """Copy the payload out of the owner's segment and release the slot."""
+        if not isinstance(packed, ShmDescriptor):
+            return packed
+        seg = self._attach_segment(packed.segment)
+        view = np.ndarray(
+            packed.shape,
+            dtype=np.dtype(packed.dtype),
+            buffer=seg.buf,
+            offset=packed.offset,
+        )
+        arr = view.copy()
+        self.release_payload(packed, send_node)
+        return arr
+
+    def release_payload(
+        self, packed: Any, send_node: Callable[[int, Tuple], None]
+    ) -> None:
+        """Return a descriptor's slot to its owner without copying."""
+        if not isinstance(packed, ShmDescriptor):
+            return
+        if packed.owner == self.node_id:
+            self.pool.free(packed.offset)
+        else:
+            send_node(packed.owner, ("pfree", packed.offset))
+
+    def wire_bytes(self, packed: Any) -> int:
+        if isinstance(packed, ShmDescriptor):
+            return len(pickle.dumps(packed, protocol=pickle.HIGHEST_PROTOCOL))
+        return super().wire_bytes(packed)
+
+    def handle_free(self, msg: Tuple) -> None:
+        """A receiver finished copying: return the slot to our pool."""
+        _, offset = msg
+        try:
+            self.pool.free(offset)
+        except ValueError:
+            pass  # duplicate/late release after a drain; slot already reclaimed
+
+    def close(self) -> None:
+        """Unmap attached segments (never unlinks; the coordinator owns them)."""
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except Exception:
+                pass
+        self._segments.clear()
+
+
+class SharedMemoryFabric(QueueFabric):
+    """Queue fabric plus one owned shared segment per node.
+
+    Segments are created (and named) by the coordinator before the
+    workers start and unlinked unconditionally in :meth:`shutdown`,
+    which runs in the coordinator's ``finally`` — the crash of any
+    worker therefore cannot leak ``/dev/shm`` entries.
+    """
+
+    name = "shm"
+    #: ``/dev/shm`` name prefix of every segment this transport creates.
+    SEGMENT_PREFIX = "rocketshm"
+
+    def __init__(self, ctx, cluster) -> None:
+        super().__init__(ctx, cluster)
+        self.segment_bytes = cluster.shm_segment_bytes
+        token = uuid.uuid4().hex[:8]
+        self._owned: List[shared_memory.SharedMemory] = []
+        self.segment_names: List[str] = []
+        try:
+            for i in range(cluster.n_nodes):
+                seg = shared_memory.SharedMemory(
+                    name=f"{self.SEGMENT_PREFIX}_{token}_n{i}",
+                    create=True,
+                    size=self.segment_bytes,
+                )
+                self._owned.append(seg)
+                self.segment_names.append(seg.name)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    def endpoint(self, node_id: int) -> SharedMemoryTransport:
+        return SharedMemoryTransport(
+            node_id, self.inboxes, self.coordinator, self.segment_names, self.segment_bytes
+        )
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        owned, self._owned = self._owned, []
+        for seg in owned:
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except Exception:
+                pass
+
+    # Worker processes receive the fabric through ``Process`` args; under
+    # ``spawn`` that pickles it, and owned handles must stay with the
+    # coordinator (workers re-attach by name).
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_owned"] = []
+        return state

@@ -284,7 +284,13 @@ class Environment:
         if isinstance(until, Event):
             stop_event = until
             if stop_event.processed:
-                return stop_event.value
+                # An already-processed event must behave exactly like one
+                # that triggers during this run: failures raise, they are
+                # not handed back as return values.
+                if stop_event._ok:
+                    return stop_event.value
+                setattr(stop_event, "_defused", True)
+                raise stop_event.value
             done = [False]
             stop_event.add_callback(lambda _e: done.__setitem__(0, True))
         elif until is not None:

@@ -1,0 +1,130 @@
+"""Error-path coverage for the execution-backend registry.
+
+The happy paths (running workloads through ``Rocket(backend=...)``)
+live in ``test_cluster_runtime.py``; this file pins down the registry's
+failure modes — unknown names, duplicate registration, option
+validation — and the data-plane shorthands the cluster factory accepts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import Application
+from repro.core.rocket import Rocket
+from repro.data.filestore import InMemoryStore
+from repro.runtime.backend import (
+    RocketBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.runtime.cluster import ClusterConfig
+from repro.runtime.localrocket import RocketConfig
+
+
+class NoopApp(Application):
+    def file_name(self, key):
+        return f"{key}.bin"
+
+    def parse(self, key, file_contents):
+        return np.frombuffer(file_contents, dtype=np.float64).copy()
+
+    def preprocess(self, key, parsed):
+        return parsed
+
+    def compare(self, key_a, a, key_b, b):
+        return np.asarray(0.0)
+
+    def postprocess(self, key_a, key_b, raw):
+        return float(raw)
+
+
+@pytest.fixture
+def app_and_store():
+    store = InMemoryStore()
+    store.write("a.bin", np.zeros(4).tobytes())
+    return NoopApp(), store
+
+
+class TestRegistryErrorPaths:
+    def test_unknown_backend_lists_available(self, app_and_store):
+        app, store = app_and_store
+        with pytest.raises(ValueError, match="unknown backend 'quantum'") as exc:
+            create_backend("quantum", app, store)
+        # The message tells the user what *is* available.
+        for name in available_backends():
+            assert name in str(exc.value)
+
+    def test_rocket_surfaces_the_same_message(self, app_and_store):
+        app, store = app_and_store
+        with pytest.raises(ValueError, match="unknown backend"):
+            Rocket(app, store, backend="quantum")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="'local' is already registered"):
+            register_backend("local", lambda *a, **k: None)
+
+    def test_overwrite_allows_replacement(self, app_and_store):
+        app, store = app_and_store
+
+        class DummyBackend(RocketBackend):
+            name = "dummy-registry-test"
+
+            def run(self, keys, pair_filter=None):
+                raise NotImplementedError
+
+        factory = lambda app, store, config=None, **o: DummyBackend()  # noqa: E731
+        register_backend("dummy-registry-test", factory)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("dummy-registry-test", factory)
+            register_backend("dummy-registry-test", factory, overwrite=True)
+            assert isinstance(
+                create_backend("dummy-registry-test", app, store), DummyBackend
+            )
+        finally:
+            from repro.runtime import backend as backend_module
+
+            backend_module._FACTORIES.pop("dummy-registry-test", None)
+
+    def test_local_backend_rejects_unknown_options(self, app_and_store):
+        app, store = app_and_store
+        with pytest.raises(TypeError, match="no extra options.*n_nodes"):
+            create_backend("local", app, store, n_nodes=4)
+
+    def test_cluster_backend_rejects_unknown_options(self, app_and_store):
+        app, store = app_and_store
+        with pytest.raises(TypeError, match="unknown cluster backend options.*warp"):
+            create_backend("cluster", app, store, warp_factor=9)
+
+    def test_conflicting_node_counts_raise(self, app_and_store):
+        app, store = app_and_store
+        with pytest.raises(ValueError, match="conflicting node counts"):
+            create_backend(
+                "cluster", app, store, RocketConfig(),
+                n_nodes=3, cluster=ClusterConfig(n_nodes=2),
+            )
+
+
+class TestClusterDataPlaneOptions:
+    def test_transport_shorthand_sets_cluster_config(self, app_and_store):
+        app, store = app_and_store
+        backend = create_backend(
+            "cluster", app, store, transport="shm", result_batch=7, n_nodes=3
+        )
+        assert backend.cluster.transport == "shm"
+        assert backend.cluster.result_batch == 7
+        assert backend.cluster.n_nodes == 3
+
+    def test_transport_overrides_explicit_cluster_config(self, app_and_store):
+        app, store = app_and_store
+        backend = create_backend(
+            "cluster", app, store,
+            cluster=ClusterConfig(n_nodes=2, transport="queue"), transport="shm",
+        )
+        assert backend.cluster.transport == "shm"
+
+    def test_unknown_transport_rejected_at_construction(self, app_and_store):
+        app, store = app_and_store
+        with pytest.raises(ValueError, match="unknown transport 'telegraph'"):
+            Rocket(app, store, backend="cluster", transport="telegraph")

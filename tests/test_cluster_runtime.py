@@ -7,12 +7,14 @@ Two layers:
   churn scenarios — holders evicting items between the mediator
   forward and the fetch — deterministic;
 - end-to-end tests spawn real worker processes and check that the
-  cluster backend produces results identical to the local backend,
-  that remote cache hits genuinely travel over the transport, and
-  that failures (application errors, node crashes) surface as clean
-  errors instead of hangs.
+  cluster backend produces results identical to the local backend
+  under **both** data planes (queue and shared-memory), that remote
+  cache hits genuinely travel over the transport, and that failures
+  (application errors, node crashes) surface as clean errors instead
+  of hangs — without leaking ``/dev/shm`` segments.
 """
 
+import glob
 import os
 import threading
 
@@ -30,7 +32,16 @@ from repro.runtime.cluster import (
     NodeCommServer,
 )
 from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
+from repro.runtime.transport import Transport
+from repro.runtime.transport.shm import SharedMemoryFabric
 from repro.scheduling.quadtree import PairBlock
+
+
+def shm_segments():
+    """Names of this transport's segments currently visible in /dev/shm."""
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("/dev/shm not available on this platform")
+    return set(glob.glob(f"/dev/shm/{SharedMemoryFabric.SEGMENT_PREFIX}*"))
 
 
 class SumApp(Application[str, float]):
@@ -52,12 +63,12 @@ class SumApp(Application[str, float]):
         return float(raw)
 
 
-def make_store(n):
+def make_store(n, floats=8):
     store = InMemoryStore()
     keys = []
     for i in range(n):
         key = f"item{i:02d}"
-        store.write(f"{key}.bin", np.full(8, float(i + 1)).tobytes())
+        store.write(f"{key}.bin", np.full(floats, float(i + 1)).tobytes())
         keys.append(key)
     return store, keys
 
@@ -82,10 +93,12 @@ class SyncNet:
         return _SyncTransport(self, node)
 
 
-class _SyncTransport:
+class _SyncTransport(Transport):
+    """Inherits the inline payload plane; messaging is synchronous."""
+
     def __init__(self, net, node_id):
+        super().__init__(node_id)
         self.net = net
-        self.node_id = node_id
 
     def send_node(self, node, msg):
         self.net.servers[node].handle(msg)
@@ -105,7 +118,7 @@ class StubPipeline:
         self.injected = []
         self.stopped = None
 
-    def host_payload_copy(self, key):
+    def host_payload_view(self, key):
         return self.payloads.get(key)
 
     def steal_for_remote(self):
@@ -251,15 +264,23 @@ class TestClusterRuntime:
         watchdog_seconds=120.0,
     )
 
-    def test_matches_local_backend_and_hits_over_the_wire(self):
-        store, keys = make_store(12)
+    #: Pre-processed payload size of the end-to-end runs (4096 float64).
+    PAYLOAD_BYTES = 4096 * 8
+
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_matches_local_backend_and_hits_over_the_wire(self, transport):
+        store, keys = make_store(12, floats=4096)
         local = run_local(keys, store, **self.CFG)
+        before = shm_segments() if transport == "shm" else None
 
         runtime = ClusterRocketRuntime(
             SumApp(),
             store,
             RocketConfig(**self.CFG),
-            cluster=ClusterConfig(n_nodes=2, fetch_timeout=20.0, steal_timeout=5.0),
+            cluster=ClusterConfig(
+                n_nodes=2, fetch_timeout=20.0, steal_timeout=5.0,
+                transport=transport, result_batch=8,
+            ),
         )
         results = runtime.run(keys)
         assert results.is_complete()
@@ -268,6 +289,7 @@ class TestClusterRuntime:
 
         stats = runtime.last_stats
         assert stats is not None
+        assert stats.transport == transport
         assert stats.n_pairs == 66 and stats.n_nodes == 2
         assert len(stats.node_stats) == 2
         assert sum(sum(ns.pairs_per_device.values()) for ns in stats.node_stats) == 66
@@ -276,9 +298,21 @@ class TestClusterRuntime:
         assert stats.hop_stats.total_hits >= 1
         assert stats.bytes_over_wire > 0
         assert stats.messages >= stats.hop_stats.requests + 2
+        # Batching: far fewer result messages than pairs.
+        assert stats.message_kinds["result"] < stats.n_pairs
+        assert sum(stats.message_kinds.values()) == stats.messages
+        if transport == "shm":
+            # Descriptors, not payloads, on the wire — and every
+            # segment unlinked at run end.
+            assert stats.bytes_over_wire < stats.hop_stats.total_hits * 1024
+            assert shm_segments() == before
+        else:
+            # Inline shipping pays the full payload per remote hit.
+            assert stats.bytes_over_wire >= stats.hop_stats.total_hits * self.PAYLOAD_BYTES
         # Every item is loaded from storage at most... once per node.
         assert stats.loads <= 2 * 12
         assert "remote hits" in stats.summary()
+        assert transport in stats.summary()
 
     def test_single_node_cluster(self):
         store, keys = make_store(8)
@@ -289,7 +323,8 @@ class TestClusterRuntime:
         assert results.is_complete()
         assert runtime.last_stats.hop_stats.requests == 0
 
-    def test_three_nodes_with_tight_caches_survive_churn(self):
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_three_nodes_with_tight_caches_survive_churn(self, transport):
         """Constant eviction: remote requests miss, loads re-run, results hold."""
         cfg = dict(self.CFG, device_cache_slots=3, host_cache_slots=4)
         store, keys = make_store(10)
@@ -298,7 +333,9 @@ class TestClusterRuntime:
             SumApp(),
             store,
             RocketConfig(**cfg),
-            cluster=ClusterConfig(n_nodes=3, fetch_timeout=20.0, steal_timeout=5.0),
+            cluster=ClusterConfig(
+                n_nodes=3, fetch_timeout=20.0, steal_timeout=5.0, transport=transport
+            ),
         )
         results = runtime.run(keys)
         assert results.is_complete()
@@ -343,7 +380,8 @@ class TestClusterRuntime:
         with pytest.raises(RuntimeError, match="ValueError: corrupt file"):
             runtime.run(keys)
 
-    def test_node_crash_surfaces_as_clean_error(self):
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_node_crash_surfaces_as_clean_error(self, transport):
         class CrashApp(SumApp):
             def parse(self, key, file_contents):
                 if key == "item03":
@@ -351,14 +389,19 @@ class TestClusterRuntime:
                 return super().parse(key, file_contents)
 
         store, keys = make_store(6)
+        before = shm_segments() if transport == "shm" else None
         runtime = ClusterRocketRuntime(
             CrashApp(),
             store,
             RocketConfig(**dict(self.CFG, watchdog_seconds=60.0)),
-            cluster=ClusterConfig(n_nodes=2),
+            cluster=ClusterConfig(n_nodes=2, transport=transport),
         )
         with pytest.raises(RuntimeError, match="died unexpectedly"):
             runtime.run(keys)
+        if transport == "shm":
+            # The coordinator owns the segments: a crashed worker must
+            # not leak /dev/shm entries.
+            assert shm_segments() == before
 
 
 # ----------------------------------------------------------------------

@@ -264,6 +264,35 @@ class TestRun:
         env.run()
         assert order == ["a", "b", "c"]
 
+    def test_run_until_already_failed_event_raises(self):
+        """Regression: a processed-as-failed event must raise, not be
+        returned as a value, when passed to ``run(until=...)`` again."""
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        p = env.process(failing())
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+        # The event is now processed and failed; awaiting it again used
+        # to hand back the exception object as the "value".
+        assert p.processed and not p.ok
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=p)
+
+    def test_run_until_already_succeeded_event_still_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return 42
+
+        p = env.process(proc())
+        env.run()
+        assert env.run(until=p) == 42
+
     def test_peek_empty_is_inf(self):
         env = Environment()
         assert env.peek() == float("inf")
