@@ -25,7 +25,7 @@ setup(
         "scipy",
     ],
     extras_require={
-        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-cov"],
     },
     entry_points={
         "console_scripts": [

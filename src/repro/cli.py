@@ -44,6 +44,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--devices", type=int, default=2, help="virtual GPUs per node")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--save", metavar="PATH", help="write the result matrix as JSON")
+        p.add_argument(
+            "--device-speeds", metavar="S,S,...", default=None,
+            help="comma-separated per-device speed factors (e.g. 1.0,0.25); "
+            "for the cluster backend, nodes*devices values give a per-node mix",
+        )
+        p.add_argument(
+            "--steal-policy", choices=["uniform", "speed"], default="uniform",
+            help="uniform: the paper's randomized stealing; speed: "
+            "heterogeneity-aware scheduling (speed-proportional partition, "
+            "remaining-work victim ranking, speed-scaled steals)",
+        )
         if with_backend:
             p.add_argument(
                 "--backend", choices=["local", "cluster"], default="local",
@@ -137,16 +148,56 @@ def _make_demo_app(store, name: str, items: int, seed: int):
     return MicroscopyApplication(restarts=2), dataset.keys
 
 
+def _parse_device_speeds(spec: Optional[str], devices: int, nodes: int):
+    """Parse ``--device-speeds``: per-device, or nodes*devices per-node.
+
+    Returns ``(device_speeds, node_speed_factors)`` — exactly one is
+    non-None when a spec is given.
+    """
+    if spec is None:
+        return None, None
+    try:
+        values = tuple(float(v) for v in spec.split(","))
+    except ValueError:
+        raise SystemExit(f"--device-speeds expects comma-separated floats, got {spec!r}")
+    if any(not 0 < v <= 1.0 for v in values):
+        raise SystemExit(
+            f"--device-speeds values must be in (0, 1] (1.0 = reference GPU), got {spec!r}"
+        )
+    if len(values) == devices:
+        return values, None
+    if nodes > 1 and len(values) == nodes * devices:
+        per_node = tuple(
+            values[i * devices:(i + 1) * devices] for i in range(nodes)
+        )
+        return None, per_node
+    raise SystemExit(
+        f"--device-speeds needs {devices} values (per device) or "
+        f"{nodes * devices} (per node x device), got {len(values)}"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.rocket import Rocket
     from repro.data.filestore import InMemoryStore
     from repro.runtime.localrocket import RocketConfig
+    from repro.scheduling.workstealing import StealPolicy
+
+    backend = getattr(args, "backend", "local")
+    nodes = getattr(args, "nodes", 1) if backend == "cluster" else 1
+    device_speeds, node_speeds = _parse_device_speeds(
+        args.device_speeds, args.devices, nodes
+    )
 
     store = InMemoryStore()
     app, keys = _make_demo_app(store, args.app, args.items, args.seed)
-    config = RocketConfig(n_devices=args.devices, seed=args.seed)
+    config = RocketConfig(
+        n_devices=args.devices,
+        seed=args.seed,
+        device_speed_factors=device_speeds,
+        steal_policy=StealPolicy(args.steal_policy),
+    )
 
-    backend = getattr(args, "backend", "local")
     options = {}
     if backend == "cluster":
         from repro.runtime.cluster import ClusterConfig
@@ -157,6 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             distributed_cache=not args.no_distributed_cache,
             transport=args.transport,
             result_batch=args.result_batch,
+            node_speed_factors=node_speeds,
         )
     rocket = Rocket(app, store, config, backend=backend, **options)
     results = rocket.run(keys)

@@ -21,6 +21,17 @@ execution backend and returns the
   ``Rocket(app, store, backend="cluster", transport="shm",
   result_batch=128)``.
 
+Heterogeneous platforms (paper Section 6.5): both backends accept
+``device_speeds=(1.0, 0.25)`` (per-device kernel speed factors) and
+``steal_policy="speed"`` — the heterogeneity-aware scheduler that
+partitions initial work proportionally to speed, ranks steal victims
+by estimated remaining work and sizes steals by the thief/victim
+speed ratio.  The cluster backend additionally takes per-node device
+mixes, one inner tuple of ``n_devices`` factors per node —
+``node_speeds=((1.0, 1.0), (0.25, 0.25))`` for two two-GPU nodes.  Run
+statistics then report the online-calibrated model's predicted vs.
+measured time (``last_stats.summary()``).
+
 For cluster-scale *timing* studies (the paper's evaluation), use
 :func:`repro.sim.rocketsim.run_simulation` instead, which runs the same
 cache/scheduling logic on a simulated platform.

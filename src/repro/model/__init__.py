@@ -2,6 +2,7 @@
 
 from repro.model.perfmodel import (
     PerformanceModel,
+    StageCalibration,
     t_gpu,
     t_cpu,
     t_io,
@@ -11,6 +12,7 @@ from repro.model.perfmodel import (
 
 __all__ = [
     "PerformanceModel",
+    "StageCalibration",
     "t_gpu",
     "t_cpu",
     "t_io",

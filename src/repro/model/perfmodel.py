@@ -19,17 +19,50 @@ All stage times are expressed at a reference GPU speed (the TitanX
 Maxwell the paper measured Table 1 on); ``speed`` arguments rescale them
 for other devices, and ``aggregate_speed`` (the sum of per-GPU speed
 factors) generalises ``p`` for heterogeneous platforms.
+
+Online calibration
+------------------
+
+The model does not have to be fed Table 1 constants: the runtimes
+measure their own stage costs as they execute and fold them into a
+live model through :class:`StageCalibration`.  The entry points are
+
+- ``record_preprocess(seconds, speed)`` / ``record_compare(seconds,
+  speed)`` — one GPU kernel execution; the measured wall time is
+  normalised to the reference device by multiplying with the executing
+  device's speed factor;
+- ``record_parse(seconds)`` / ``record_postprocess(seconds)`` — one
+  CPU stage execution;
+- ``record_io(nbytes, seconds)`` — one storage read (yields the
+  measured file size and I/O bandwidth);
+- ``profile(...)`` / ``model(...)`` — build a
+  :class:`~repro.sim.workload.WorkloadProfile` or a ready
+  :class:`PerformanceModel` from the accumulated means, against which
+  ``predicted_runtime(R)`` and ``efficiency(measured)`` report the
+  paper's predicted-vs-measured evaluation for the live run.
+
+:meth:`StageCalibration.merge` combines the calibrations of several
+nodes (the cluster coordinator aggregates per-node instances shipped
+inside ``NodeStats``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
     from repro.sim.workload import WorkloadProfile
 
-__all__ = ["t_gpu", "t_cpu", "t_io", "t_min", "system_efficiency", "PerformanceModel"]
+__all__ = [
+    "t_gpu",
+    "t_cpu",
+    "t_io",
+    "t_min",
+    "system_efficiency",
+    "PerformanceModel",
+    "StageCalibration",
+]
 
 
 def _n_pairs(n: int) -> int:
@@ -139,3 +172,136 @@ class PerformanceModel:
             "io": t_io(self.profile, self.io_bandwidth, reuse),
         }
         return max(totals, key=totals.get)
+
+
+@dataclass
+class StageCalibration:
+    """Measured per-stage costs accumulated while a run executes.
+
+    Kernel times are recorded *normalised to the reference device*
+    (wall time multiplied by the executing device's speed factor), so a
+    mix of fast and slow GPUs contributes one consistent estimate of
+    ``t_pre`` / ``t_cmp``.  Instances are picklable and mergeable —
+    cluster nodes ship theirs to the coordinator inside ``NodeStats``.
+    See the module docstring for the entry points.
+    """
+
+    pre_seconds: float = 0.0
+    pre_count: int = 0
+    cmp_seconds: float = 0.0
+    cmp_count: int = 0
+    parse_seconds: float = 0.0
+    parse_count: int = 0
+    post_seconds: float = 0.0
+    post_count: int = 0
+    io_seconds: float = 0.0
+    io_bytes: int = 0
+    io_count: int = 0
+
+    # -- recording (called from the running pipeline) ------------------
+
+    def record_preprocess(self, seconds: float, speed: float = 1.0) -> None:
+        """One pre-process kernel: wall ``seconds`` on a ``speed`` device."""
+        self.pre_seconds += seconds * speed
+        self.pre_count += 1
+
+    def record_compare(self, seconds: float, speed: float = 1.0) -> None:
+        """One comparison kernel: wall ``seconds`` on a ``speed`` device."""
+        self.cmp_seconds += seconds * speed
+        self.cmp_count += 1
+
+    def record_parse(self, seconds: float) -> None:
+        """One CPU parse stage."""
+        self.parse_seconds += seconds
+        self.parse_count += 1
+
+    def record_postprocess(self, seconds: float) -> None:
+        """One CPU post-process stage."""
+        self.post_seconds += seconds
+        self.post_count += 1
+
+    def record_io(self, nbytes: int, seconds: float) -> None:
+        """One storage read of ``nbytes`` taking ``seconds``."""
+        self.io_bytes += int(nbytes)
+        self.io_seconds += seconds
+        self.io_count += 1
+
+    def merge(self, other: "StageCalibration") -> None:
+        """Fold another node's calibration into this one."""
+        self.pre_seconds += other.pre_seconds
+        self.pre_count += other.pre_count
+        self.cmp_seconds += other.cmp_seconds
+        self.cmp_count += other.cmp_count
+        self.parse_seconds += other.parse_seconds
+        self.parse_count += other.parse_count
+        self.post_seconds += other.post_seconds
+        self.post_count += other.post_count
+        self.io_seconds += other.io_seconds
+        self.io_bytes += other.io_bytes
+        self.io_count += other.io_count
+
+    # -- calibrated estimates ------------------------------------------
+
+    @property
+    def t_pre(self) -> float:
+        """Mean pre-process kernel time at reference speed (0 if unmeasured)."""
+        return self.pre_seconds / self.pre_count if self.pre_count else 0.0
+
+    @property
+    def t_cmp(self) -> float:
+        """Mean comparison kernel time at reference speed (0 if unmeasured)."""
+        return self.cmp_seconds / self.cmp_count if self.cmp_count else 0.0
+
+    @property
+    def t_parse(self) -> float:
+        """Mean CPU parse time (0 if unmeasured)."""
+        return self.parse_seconds / self.parse_count if self.parse_count else 0.0
+
+    @property
+    def t_post(self) -> float:
+        """Mean CPU post-process time (0 if unmeasured)."""
+        return self.post_seconds / self.post_count if self.post_count else 0.0
+
+    @property
+    def file_size(self) -> float:
+        """Mean bytes per storage read (0 if unmeasured)."""
+        return self.io_bytes / self.io_count if self.io_count else 0.0
+
+    @property
+    def io_bandwidth(self) -> Optional[float]:
+        """Measured storage bandwidth, or None when nothing was read."""
+        if self.io_seconds <= 0 or self.io_bytes <= 0:
+            return None
+        return self.io_bytes / self.io_seconds
+
+    def profile(self, name: str, n_items: int) -> "WorkloadProfile":
+        """Build a :class:`~repro.sim.workload.WorkloadProfile` from the means."""
+        from repro.sim.workload import WorkloadProfile  # avoid an import cycle
+
+        return WorkloadProfile(
+            name=name,
+            n_items=n_items,
+            file_size=max(self.file_size, 1.0),
+            slot_size=max(self.file_size, 1.0),
+            result_size=0.0,
+            t_parse=(self.t_parse, 0.0),
+            t_preprocess=(self.t_pre, 0.0),
+            t_compare=(self.t_cmp, 0.0),
+            t_postprocess=(self.t_post, 0.0),
+        )
+
+    def model(
+        self,
+        n_items: int,
+        aggregate_speed: float = 1.0,
+        cpu_cores: int = 1,
+        name: str = "calibrated",
+    ) -> PerformanceModel:
+        """A live :class:`PerformanceModel` for the measured workload."""
+        bw = self.io_bandwidth
+        return PerformanceModel(
+            profile=self.profile(name, n_items),
+            aggregate_speed=aggregate_speed,
+            cpu_cores=cpu_cores,
+            io_bandwidth=bw if bw is not None else 2.0e9,
+        )

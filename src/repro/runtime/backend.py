@@ -90,12 +90,44 @@ def create_backend(
     return factory(app, store, config, **options)
 
 
+def _coerce_steal_policy(value):
+    """Accept a StealPolicy or its string name ("uniform" / "speed")."""
+    from repro.scheduling.workstealing import StealPolicy
+
+    if isinstance(value, StealPolicy):
+        return value
+    try:
+        return StealPolicy(value)
+    except ValueError:
+        raise ValueError(
+            f"unknown steal policy {value!r}; "
+            f"available: {', '.join(p.value for p in StealPolicy)}"
+        ) from None
+
+
+def _apply_scheduling_options(config, device_speeds, steal_policy):
+    """Fold the Rocket-level scheduling shorthands into a RocketConfig."""
+    import dataclasses
+
+    overrides = {}
+    if device_speeds is not None:
+        overrides["device_speed_factors"] = tuple(float(s) for s in device_speeds)
+    if steal_policy is not None:
+        overrides["steal_policy"] = _coerce_steal_policy(steal_policy)
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
 def _local_factory(app, store, config=None, **options) -> RocketBackend:
     from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
 
+    device_speeds = options.pop("device_speeds", None)
+    steal_policy = options.pop("steal_policy", None)
     if options:
-        raise TypeError(f"local backend takes no extra options, got {sorted(options)}")
-    return LocalRocketRuntime(app, store, config if config is not None else RocketConfig())
+        raise TypeError(f"unknown local backend options {sorted(options)}")
+    config = _apply_scheduling_options(
+        config if config is not None else RocketConfig(), device_speeds, steal_policy
+    )
+    return LocalRocketRuntime(app, store, config)
 
 
 def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
@@ -108,6 +140,9 @@ def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
     n_nodes = options.pop("n_nodes", None)
     transport = options.pop("transport", None)
     result_batch = options.pop("result_batch", None)
+    device_speeds = options.pop("device_speeds", None)
+    node_speeds = options.pop("node_speeds", None)
+    steal_policy = options.pop("steal_policy", None)
     if options:
         raise TypeError(f"unknown cluster backend options {sorted(options)}")
     if cluster is None:
@@ -116,18 +151,24 @@ def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
         raise ValueError(
             f"conflicting node counts: n_nodes={n_nodes} vs cluster.n_nodes={cluster.n_nodes}"
         )
-    # Data-plane shorthands: ``Rocket(..., transport="shm")`` overrides
-    # the (or a default) ClusterConfig.
+    config = _apply_scheduling_options(
+        config if config is not None else RocketConfig(), device_speeds, steal_policy
+    )
+    # Data-plane / heterogeneity shorthands: ``Rocket(..., transport="shm",
+    # node_speeds=((1.0,), (0.25,)))`` overrides the (or a default)
+    # ClusterConfig.
     overrides = {}
     if transport is not None:
         overrides["transport"] = transport
     if result_batch is not None:
         overrides["result_batch"] = result_batch
+    if node_speeds is not None:
+        overrides["node_speed_factors"] = tuple(
+            tuple(float(s) for s in speeds) for speeds in node_speeds
+        )
     if overrides:
         cluster = dataclasses.replace(cluster, **overrides)
-    return ClusterRocketRuntime(
-        app, store, config if config is not None else RocketConfig(), cluster=cluster
-    )
+    return ClusterRocketRuntime(app, store, config, cluster=cluster)
 
 
 register_backend("local", _local_factory, overwrite=True)

@@ -52,6 +52,7 @@ from repro.cache.distributed import CandidateDirectory, HopStats, mediator_of
 from repro.core.api import Application
 from repro.core.result import ResultMatrix
 from repro.data.filestore import FileStore
+from repro.model.perfmodel import StageCalibration
 from repro.runtime.backend import RocketBackend
 from repro.runtime.localrocket import RocketConfig, count_pairs
 from repro.runtime.pernode import NodePipeline, NodeStats
@@ -63,8 +64,8 @@ from repro.runtime.transport import (
     available_transports,
     create_fabric,
 )
-from repro.scheduling.quadtree import PairBlock
-from repro.scheduling.workstealing import VictimSelector, WorkerTopology
+from repro.scheduling.quadtree import PairBlock, partition_pairs
+from repro.scheduling.workstealing import StealPolicy, VictimSelector, WorkerTopology
 from repro.util.rng import RngFactory
 from repro.util.trace import TraceRecorder
 
@@ -109,6 +110,12 @@ class ClusterConfig:
     #: segment is sparse until written, so generous defaults cost
     #: nothing on Linux.
     shm_segment_bytes: int = 32 * 1024 * 1024
+    #: Heterogeneous node mixes: per-node device speed-factor tuples
+    #: (outer length ``n_nodes``, inner length the RocketConfig's
+    #: ``n_devices``), overriding the shared RocketConfig's
+    #: ``device_speed_factors`` on each node.  ``None`` — every node
+    #: runs the RocketConfig as given.
+    node_speed_factors: Optional[Tuple[Tuple[float, ...], ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -123,6 +130,17 @@ class ClusterConfig:
             raise ValueError(
                 f"shm_segment_bytes must be >= 65536, got {self.shm_segment_bytes}"
             )
+        if self.node_speed_factors is not None:
+            if len(self.node_speed_factors) != self.n_nodes:
+                raise ValueError(
+                    f"{len(self.node_speed_factors)} speed-factor tuples for "
+                    f"{self.n_nodes} nodes"
+                )
+            for node, speeds in enumerate(self.node_speed_factors):
+                if not speeds or any(not 0 < s <= 1.0 for s in speeds):
+                    raise ValueError(
+                        f"node {node} speed factors must be in (0, 1], got {speeds}"
+                    )
 
 
 #: Stats categories of the coordinator/protocol messages.
@@ -172,6 +190,14 @@ class ClusterRunStats:
     )
     #: Data-plane implementation the run used ("queue", "shm", ...).
     transport: str = "queue"
+    #: Sum of device speed factors across all nodes (the model's ``p``).
+    aggregate_speed: float = 1.0
+    #: Online-calibrated stage costs merged from every node.
+    calibration: Optional[StageCalibration] = None
+    #: Calibrated-model runtime at the measured reuse factor R.
+    predicted_runtime: float = 0.0
+    #: Eq. 5 system efficiency against the calibrated lower bound.
+    model_efficiency: float = 0.0
 
     def summary(self) -> str:
         """Short human-readable digest."""
@@ -185,7 +211,10 @@ class ClusterRunStats:
             f"{self.bytes_over_wire / 1e6:.2f} MB over wire "
             f"[{self.transport} transport], "
             f"{self.messages} messages ({kinds}); "
-            f"remote steals={self.remote_steals}"
+            f"remote steals={self.remote_steals}; "
+            f"model: predicted {self.predicted_runtime:.2f}s vs measured "
+            f"{self.runtime:.2f}s, system efficiency {self.model_efficiency:.1%} "
+            f"(aggregate speed {self.aggregate_speed:.2f})"
         )
 
 
@@ -514,6 +543,7 @@ def _node_main(
     keys: List[Hashable],
     pair_filter,
     fabric: TransportFabric,
+    initial_blocks: List[PairBlock],
 ) -> None:
     """Entry point of one worker process (one simulated cluster node)."""
     transport = fabric.endpoint(node_id)
@@ -534,7 +564,7 @@ def _node_main(
             expected_pairs=None,  # the coordinator decides when the run ends
             remote_fetch=comm.remote_fetch if (multi and cluster.distributed_cache) else None,
             global_steal=comm.global_steal if multi else None,
-            initial_blocks=[PairBlock.root(len(keys))] if node_id == 0 else [],
+            initial_blocks=initial_blocks,
         )
         comm.attach(pipeline)
         comm_thread = threading.Thread(target=comm.serve, name=f"comm{node_id}", daemon=True)
@@ -589,6 +619,24 @@ class ClusterRocketRuntime(RocketBackend):
                 f"unknown transport {cluster.transport!r}; "
                 f"available: {', '.join(available_transports())}"
             )
+        if cluster.node_speed_factors is not None:
+            for node, speeds in enumerate(cluster.node_speed_factors):
+                if len(speeds) != config.n_devices:
+                    raise ValueError(
+                        f"node {node}: {len(speeds)} speed factors for "
+                        f"{config.n_devices} devices"
+                    )
+
+    def _node_configs(self) -> List[RocketConfig]:
+        """Per-node RocketConfigs (heterogeneous speed overrides applied)."""
+        import dataclasses
+
+        if self.cluster.node_speed_factors is None:
+            return [self.config] * self.cluster.n_nodes
+        return [
+            dataclasses.replace(self.config, device_speed_factors=tuple(speeds))
+            for speeds in self.cluster.node_speed_factors
+        ]
 
     # ------------------------------------------------------------------
 
@@ -613,22 +661,55 @@ class ClusterRocketRuntime(RocketBackend):
                 f"on this platform"
             ) from exc
 
+        node_cfgs = self._node_configs()
+        node_speeds = [c.aggregate_speed for c in node_cfgs]
+        speed_aware = cfg.steal_policy is StealPolicy.SPEED
+        if speed_aware and cl.n_nodes > 1:
+            # Speed-proportional initial partitioning: every node starts
+            # with a share of the root tree matching its aggregate speed
+            # instead of node 0 holding everything.
+            shares = partition_pairs(n, node_speeds)
+        else:
+            shares = [[] for _ in range(cl.n_nodes)]
+            shares[0] = [PairBlock.root(n)]
+
         fabric = create_fabric(cl.transport, ctx, cl)
         procs = [
             ctx.Process(
                 target=_node_main,
-                args=(i, self.app, self.store, cfg, cl, keys, pair_filter, fabric),
+                args=(
+                    i, self.app, self.store, node_cfgs[i], cl, keys, pair_filter,
+                    fabric, shares[i],
+                ),
                 name=f"rocket-node{i}",
                 daemon=True,
             )
             for i in range(cl.n_nodes)
         ]
 
+        def accepted_count(block: PairBlock) -> int:
+            """Pairs of ``block`` that survive the filter (all, if none).
+
+            The filter sweep only pays off for the SPEED policy's
+            remaining-work estimate; UNIFORM runs never read it, so
+            they get the O(1) raw count.
+            """
+            if pair_filter is None or not speed_aware:
+                return block.count
+            return sum(1 for i, j in block.pairs() if pair_filter(keys[i], keys[j]))
+
         results = ResultMatrix(keys)
         topology = WorkerTopology.from_gpus_per_node([cfg.n_devices] * cl.n_nodes)
         selector = VictimSelector(topology, RngFactory(cfg.seed).get("cluster:steal"))
         pending_steals: Dict[Tuple[int, int], List[int]] = {}
         reports: Dict[int, NodeReport] = {}
+        # Estimated accepted pairs still owned by each node: the initial
+        # share, plus/minus granted steals, minus streamed results.
+        # Filter-rejected pairs are excluded up front so the estimate
+        # actually drains.  Drives remaining-work victim ranking under
+        # the SPEED policy.
+        assigned = [sum(accepted_count(b) for b in share) for share in shares]
+        completed_by = [0] * cl.n_nodes
         completed = 0
         remote_steals = 0
         error: Optional[str] = None
@@ -642,19 +723,35 @@ class ClusterRocketRuntime(RocketBackend):
                     pass  # a crashed node's queue may already be broken
 
         def victim_order(thief: int) -> List[int]:
-            """Remote-node probe order from the global VictimSelector tier."""
+            """Remote-node probe order for a steal request.
+
+            UNIFORM: the global VictimSelector tier (randomized,
+            locality-aware).  SPEED: the same candidate set re-ranked
+            by estimated remaining work, so the most-backlogged node
+            is probed first instead of a uniformly random one.
+            """
             order: List[int] = []
             for w in selector.candidates(thief * cfg.n_devices):
                 node = topology.node_of[w]
                 if node != thief and node not in order:
                     order.append(node)
+            if speed_aware:
+                # Remaining *time*, not pairs: a slow node with half the
+                # backlog of a fast one may still be the bigger straggler.
+                order.sort(
+                    key=lambda v: max(0, assigned[v] - completed_by[v]) / node_speeds[v],
+                    reverse=True,
+                )
             return order
 
-        def grant(thief: int, req_id: int, block: Optional[PairBlock]) -> None:
+        def grant(
+            thief: int, req_id: int, block: Optional[PairBlock], count: int = 0
+        ) -> None:
             nonlocal remote_steals
             fabric.send_node(thief, ("sgrant", req_id, block))
             if block is not None:
                 remote_steals += 1
+                assigned[thief] += count
 
         def advance_steal(key: Tuple[int, int]) -> None:
             thief, req_id = key
@@ -677,11 +774,13 @@ class ClusterRocketRuntime(RocketBackend):
             nonlocal error, stopped
             kind = msg[0]
             if kind == "results":
-                _, _node, block = msg
+                _, node, block = msg
+                completed_by[node] += len(block)
                 for i, j, value in block:
                     record_result(i, j, value)
             elif kind == "result":
-                _, _node, i, j, value = msg
+                _, node, i, j, value = msg
+                completed_by[node] += 1
                 record_result(i, j, value)
             elif kind == "sreq":
                 _, thief, req_id = msg
@@ -691,11 +790,13 @@ class ClusterRocketRuntime(RocketBackend):
                     pending_steals[(thief, req_id)] = victim_order(thief)
                     advance_steal((thief, req_id))
             elif kind == "srep":
-                _, _victim, thief, req_id, block = msg
+                _, victim, thief, req_id, block = msg
                 key = (thief, req_id)
                 if block is not None:
+                    moved = accepted_count(block)
+                    assigned[victim] = max(0, assigned[victim] - moved)
                     pending_steals.pop(key, None)
-                    grant(thief, req_id, block)
+                    grant(thief, req_id, block, moved)
                 elif key in pending_steals:
                     advance_steal(key)
             elif kind == "error":
@@ -789,11 +890,13 @@ class ClusterRocketRuntime(RocketBackend):
         hop_stats = HopStats(cl.max_hops)
         node_stats: List[NodeStats] = []
         message_kinds = {k: 0 for k in MESSAGE_KINDS}
+        calibration = StageCalibration()
         loads = bytes_over_wire = messages = 0
         for i in sorted(reports):
             rep = reports[i]
             node_stats.append(rep.stats)
             loads += rep.stats.loads
+            calibration.merge(rep.stats.calibration)
             for k in range(cl.max_hops):
                 hop_stats.hits_at_hop[k] += rep.hops.hits_at_hop[k]
             hop_stats.misses += rep.hops.misses
@@ -803,13 +906,18 @@ class ClusterRocketRuntime(RocketBackend):
             for kind, count in rep.message_kinds.items():
                 message_kinds[kind] = message_kinds.get(kind, 0) + count
 
+        aggregate_speed = float(sum(node_speeds))
+        reuse = loads / n
+        model = calibration.model(
+            n_items=n, aggregate_speed=aggregate_speed, cpu_cores=cfg.cpu_workers * cl.n_nodes
+        )
         self.last_stats = ClusterRunStats(
             runtime=runtime,
             n_items=n,
             n_pairs=total_pairs,
             n_nodes=cl.n_nodes,
             loads=loads,
-            reuse_factor=loads / n,
+            reuse_factor=reuse,
             throughput=total_pairs / runtime if runtime > 0 else 0.0,
             node_stats=node_stats,
             hop_stats=hop_stats,
@@ -818,5 +926,9 @@ class ClusterRocketRuntime(RocketBackend):
             messages=messages,
             message_kinds=message_kinds,
             transport=cl.transport,
+            aggregate_speed=aggregate_speed,
+            calibration=calibration,
+            predicted_runtime=model.predicted_runtime(max(1.0, reuse)),
+            model_efficiency=model.efficiency(runtime) if runtime > 0 else 0.0,
         )
         return results

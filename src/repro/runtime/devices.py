@@ -75,10 +75,22 @@ class VirtualDevice:
         wrapped as a buffer on this device.  With ``speed_factor`` < 1
         the call is padded so the kernel appears proportionally slower.
         """
+        return self.run_kernel_timed(fn, *buffers_and_args)[0]
+
+    def run_kernel_timed(
+        self, fn: Callable[..., np.ndarray], *buffers_and_args: Any
+    ) -> "tuple[DeviceBuffer, float]":
+        """:meth:`run_kernel` plus the kernel's *on-device* seconds.
+
+        The returned elapsed time covers only the kernel execution (and
+        speed-factor padding) on the device thread — not the caller's
+        wait in the kernel queue — which is what online calibration of
+        ``t_pre`` / ``t_cmp`` must record.
+        """
         if self._closed:
             raise RuntimeError(f"device {self.name!r} is shut down")
 
-        def _invoke() -> DeviceBuffer:
+        def _invoke() -> "tuple[DeviceBuffer, float]":
             args = []
             for arg in buffers_and_args:
                 if isinstance(arg, DeviceBuffer):
@@ -98,7 +110,7 @@ class VirtualDevice:
                 self.kernel_count += 1
             if not isinstance(result, np.ndarray):
                 result = np.asarray(result)
-            return DeviceBuffer(result, self.name)
+            return DeviceBuffer(result, self.name), elapsed
 
         return self._executor.submit(_invoke).result()
 

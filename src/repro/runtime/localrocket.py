@@ -21,10 +21,11 @@ from repro.cache.slots import CacheCounters
 from repro.core.api import Application
 from repro.core.result import ResultMatrix
 from repro.data.filestore import FileStore
+from repro.model.perfmodel import StageCalibration
 from repro.runtime.backend import RocketBackend
 from repro.runtime.pernode import NodePipeline
 from repro.scheduling.quadtree import PairBlock
-from repro.scheduling.workstealing import StealOrder
+from repro.scheduling.workstealing import StealOrder, StealPolicy
 from repro.util.rng import RngFactory
 from repro.util.trace import TraceRecorder
 
@@ -46,6 +47,11 @@ class RocketConfig:
     device_speed_factors: Optional[Tuple[float, ...]] = None
     eviction: EvictionPolicy = EvictionPolicy.LRU
     steal_order: StealOrder = StealOrder.LARGEST
+    #: ``UNIFORM`` — the paper's randomized stealing; ``SPEED`` — the
+    #: heterogeneity-aware policy: speed-proportional initial
+    #: partitioning, victims ranked by estimated remaining time, steal
+    #: sizes and job admission scaled by device speed.
+    steal_policy: StealPolicy = StealPolicy.UNIFORM
     profiling: bool = False
     seed: int = 0
     #: Hard wall-clock limit: a wedged run raises instead of hanging.
@@ -58,12 +64,31 @@ class RocketConfig:
             raise ValueError(f"cpu_workers must be >= 1, got {self.cpu_workers}")
         if self.leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1, got {self.leaf_size}")
-        if self.device_speed_factors is not None and len(self.device_speed_factors) != self.n_devices:
-            raise ValueError(
-                f"{len(self.device_speed_factors)} speed factors for {self.n_devices} devices"
-            )
+        if self.device_speed_factors is not None:
+            if len(self.device_speed_factors) != self.n_devices:
+                raise ValueError(
+                    f"{len(self.device_speed_factors)} speed factors for "
+                    f"{self.n_devices} devices"
+                )
+            if any(not 0 < s <= 1.0 for s in self.device_speed_factors):
+                # A VirtualDevice can only *stretch* kernel time, so the
+                # reference device (1.0) must be the fastest; factors > 1
+                # would skew partitioning and calibration with no speedup.
+                raise ValueError(
+                    f"speed factors must be in (0, 1], got {self.device_speed_factors}"
+                )
         if self.watchdog_seconds <= 0:
             raise ValueError("watchdog_seconds must be positive")
+
+    @property
+    def device_speeds(self) -> Tuple[float, ...]:
+        """Per-device speed factors (1.0 for unspecified devices)."""
+        return self.device_speed_factors or (1.0,) * self.n_devices
+
+    @property
+    def aggregate_speed(self) -> float:
+        """Sum of device speed factors — the model's generalised ``p``."""
+        return float(sum(self.device_speeds))
 
 
 def count_pairs(keys: Sequence[Hashable], pair_filter) -> int:
@@ -99,6 +124,14 @@ class RunStats:
     io_bytes: int
     parse_seconds: float
     throughput: float
+    #: Sum of device speed factors the run executed on.
+    aggregate_speed: float = 1.0
+    #: Online-calibrated stage costs measured while the run executed.
+    calibration: Optional[StageCalibration] = None
+    #: Calibrated-model runtime at the measured reuse factor R.
+    predicted_runtime: float = 0.0
+    #: Eq. 5 system efficiency against the calibrated lower bound.
+    model_efficiency: float = 0.0
     trace: Optional[TraceRecorder] = None
 
     def summary(self) -> str:
@@ -108,7 +141,10 @@ class RunStats:
             f"({self.throughput:.1f} pairs/s); loads={self.loads} (R={self.reuse_factor:.2f}); "
             f"device hit ratio {self.device_counters.hit_ratio():.1%}, "
             f"host hit ratio {self.host_counters.hit_ratio():.1%}; "
-            f"steals={self.local_steals}"
+            f"steals={self.local_steals}; "
+            f"model: predicted {self.predicted_runtime:.2f}s vs measured "
+            f"{self.runtime:.2f}s, system efficiency {self.model_efficiency:.1%} "
+            f"(aggregate speed {self.aggregate_speed:.2f})"
         )
 
 
@@ -183,12 +219,16 @@ class LocalRocketRuntime(RocketBackend):
             )
 
         ns = pipeline.stats()
+        reuse = ns.loads / n
+        model = ns.calibration.model(
+            n_items=n, aggregate_speed=cfg.aggregate_speed, cpu_cores=cfg.cpu_workers
+        )
         self.last_stats = RunStats(
             runtime=runtime,
             n_items=n,
             n_pairs=total_pairs,
             loads=ns.loads,
-            reuse_factor=ns.loads / n,
+            reuse_factor=reuse,
             device_counters=ns.device_counters,
             host_counters=ns.host_counters,
             local_steals=ns.local_steals,
@@ -200,6 +240,10 @@ class LocalRocketRuntime(RocketBackend):
             io_bytes=ns.io_bytes,
             parse_seconds=ns.parse_seconds,
             throughput=total_pairs / runtime if runtime > 0 else 0.0,
+            aggregate_speed=cfg.aggregate_speed,
+            calibration=ns.calibration,
+            predicted_runtime=model.predicted_runtime(max(1.0, reuse)),
+            model_efficiency=model.efficiency(runtime) if runtime > 0 else 0.0,
             trace=pipeline.trace if cfg.profiling else None,
         )
         return results

@@ -40,7 +40,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
@@ -49,10 +49,16 @@ from repro.cache.policy import safe_job_limit
 from repro.cache.slots import CacheCounters, Slot, SlotCache, SlotState
 from repro.core.api import Application
 from repro.data.filestore import FileStore
+from repro.model.perfmodel import StageCalibration
 from repro.runtime.devices import VirtualDevice
-from repro.scheduling.quadtree import PairBlock
+from repro.scheduling.quadtree import PairBlock, partition_blocks
 from repro.scheduling.throttle import ThreadAdmission
-from repro.scheduling.workstealing import TaskDeque, VictimSelector, WorkerTopology
+from repro.scheduling.workstealing import (
+    StealPolicy,
+    TaskDeque,
+    VictimSelector,
+    WorkerTopology,
+)
 from repro.util.rng import RngFactory
 from repro.util.trace import TraceRecorder
 
@@ -81,6 +87,10 @@ class NodeStats:
     pairs_per_device: Dict[str, int]
     h2d_bytes: int
     d2h_bytes: int
+    #: Sum of this node's device speed factors.
+    aggregate_speed: float = 1.0
+    #: Online-calibrated stage costs (reference-speed normalised).
+    calibration: StageCalibration = field(default_factory=StageCalibration)
 
 
 class _DeviceState:
@@ -138,6 +148,7 @@ class NodePipeline:
         self._t_origin = time.perf_counter()
 
         speeds = cfg.device_speed_factors or (1.0,) * cfg.n_devices
+        speed_aware = cfg.steal_policy is StealPolicy.SPEED
         dev_slots = max(2, min(cfg.device_cache_slots, n))
         host_slots = max(2, min(cfg.host_cache_slots, n))
         limit = safe_job_limit(cfg.concurrent_jobs, dev_slots, host_slots, cfg.n_devices)
@@ -149,7 +160,15 @@ class NodePipeline:
                 dev_slots, policy=cfg.eviction, name=f"device:{node_id}:{d}",
                 rng=rngs.get(f"evict:n{node_id}:d{d}"),
             )
-            self.states.append(_DeviceState(device, cache, ThreadAdmission(limit)))
+            # Cost-guided admission: a slow device may only commit a
+            # speed-proportional backlog of in-flight jobs, so the run
+            # tail is never a queue of jobs serialised on the slowest
+            # kernel thread.  Shrinking the limit preserves the
+            # safe_job_limit deadlock bound.
+            dev_limit = limit
+            if speed_aware:
+                dev_limit = max(1, round(limit * speeds[d] / max(speeds)))
+            self.states.append(_DeviceState(device, cache, ThreadAdmission(dev_limit)))
 
         self.host_cache = SlotCache(
             host_slots, policy=cfg.eviction, name=f"host:{node_id}",
@@ -158,10 +177,23 @@ class NodePipeline:
         self.host_cond = threading.Condition()
 
         topology = WorkerTopology.from_gpus_per_node([cfg.n_devices])
-        self._selector = VictimSelector(topology, rngs.get(f"steal:n{node_id}"))
         self.deques: List[TaskDeque] = [TaskDeque(d) for d in range(cfg.n_devices)]
-        for i, block in enumerate(initial_blocks):
-            self.deques[i % cfg.n_devices].push(block)
+        self._selector = VictimSelector(
+            topology,
+            rngs.get(f"steal:n{node_id}"),
+            policy=cfg.steal_policy,
+            speeds=speeds,
+            work_of=lambda w: float(self.deques[w].pending_pairs),
+        )
+        if speed_aware:
+            # Speed-proportional initial partitioning: each device
+            # starts with a share of the pairs matching its speed
+            # factor instead of a round-robin block hand-out.
+            for d, share in enumerate(partition_blocks(initial_blocks, speeds)):
+                self.deques[d].push_children(share)
+        else:
+            for i, block in enumerate(initial_blocks):
+                self.deques[i % cfg.n_devices].push(block)
         self.sched_lock = threading.Lock()
         #: Idle workers wait here; notified on new tasks, job completion
         #: and shutdown (replaces the old sleep-polling loop).
@@ -176,6 +208,9 @@ class NodePipeline:
             "completed": 0,
         }
         self.counters_lock = threading.Lock()
+        #: Live per-stage cost measurements (guarded by counters_lock).
+        self.calibration = StageCalibration()
+        self._speeds = speeds
         self.done = threading.Event()
         self.aborted = threading.Event()
         self.errors: List[BaseException] = []
@@ -263,6 +298,8 @@ class NodePipeline:
             device_counters.evictions += c.evictions
         with self.counters_lock:
             counters = dict(self.counters)
+            calibration = StageCalibration()
+            calibration.merge(self.calibration)
         return NodeStats(
             node_id=self.node_id,
             loads=counters["loads"],
@@ -278,6 +315,8 @@ class NodePipeline:
             pairs_per_device={st.device.name: st.pairs_done for st in self.states},
             h2d_bytes=sum(st.device.h2d_bytes for st in self.states),
             d2h_bytes=sum(st.device.d2h_bytes for st in self.states),
+            aggregate_speed=float(sum(self._speeds)),
+            calibration=calibration,
         )
 
     # -- services for the cluster comm layer -----------------------------
@@ -309,15 +348,15 @@ class NodePipeline:
             return view
 
     def steal_for_remote(self) -> Optional[PairBlock]:
-        """Give up one block (largest available) to a remote thief."""
+        """Give up one block (from the most-loaded deque) to a remote thief."""
         with self.sched_lock:
-            victim = max(self.deques, key=len)
+            victim = max(self.deques, key=lambda q: q.pending_pairs)
             return victim.steal(self.config.steal_order)
 
     def inject_block(self, block: PairBlock) -> None:
-        """Push an externally delivered block onto the emptiest deque."""
+        """Push an externally delivered block onto the least-loaded deque."""
         with self.sched_lock:
-            target = min(self.deques, key=len)
+            target = min(self.deques, key=lambda q: q.pending_pairs)
             target.push(block)
         with self.work_cond:
             self.work_cond.notify_all()
@@ -409,26 +448,44 @@ class NodePipeline:
                     self.host_cond.notify_all()
                 return
 
-        # Fall through to the load pipeline l(i).
+        # Fall through to the load pipeline l(i).  Stage work is timed
+        # *inside* the pool callables: calibration must not count time
+        # queued behind other loads (same reason run_kernel_timed times
+        # on the device thread), while the trace keeps the caller span.
+        def timed(fn, *args):
+            t = time.perf_counter()
+            out = fn(*args)
+            return out, time.perf_counter() - t
+
         try:
             t0 = self._now()
-            blob = self._io_pool.submit(self.store.read, self.app.file_name(key)).result()
+            blob, io_duration = self._io_pool.submit(
+                timed, self.store.read, self.app.file_name(key)
+            ).result()
             self.trace.record("IO", "io", t0, self._now())
 
             t0 = self._now()
-            parsed = self._cpu_pool.submit(self.app.parse, key, blob).result()
-            parse_duration = self._now() - t0
-            self.trace.record("CPU", "parse", t0, t0 + parse_duration)
+            parsed, parse_duration = self._cpu_pool.submit(
+                timed, self.app.parse, key, blob
+            ).result()
+            self.trace.record("CPU", "parse", t0, self._now())
 
             dev_parsed = st.device.h2d(parsed)
             t0 = self._now()
-            dev_item = st.device.run_kernel(self.app.preprocess, key, dev_parsed)
+            dev_item, pre_duration = st.device.run_kernel_timed(
+                self.app.preprocess, key, dev_parsed
+            )
             self.trace.record(st.device.name, "preprocess", t0, self._now())
 
             with self.counters_lock:
                 self.counters["loads"] += 1
                 self.counters["io_bytes"] += len(blob)
                 self.counters["parse_seconds"] += parse_duration
+                self.calibration.record_io(len(blob), io_duration)
+                self.calibration.record_parse(parse_duration)
+                self.calibration.record_preprocess(
+                    pre_duration, st.device.speed_factor
+                )
         except BaseException:
             with self.host_cond:
                 self.host_cache.abandon(host_wslot)
@@ -452,10 +509,17 @@ class NodePipeline:
         keys = self.keys
         try:
             slot_i = self._acquire_device_item(st, i)
-            slot_j = self._acquire_device_item(st, j)
+            try:
+                slot_j = self._acquire_device_item(st, j)
+            except BaseException:
+                # The first item's pin must not leak when the second
+                # acquisition fails (abort, load error): a stuck pin
+                # would wedge eviction for every surviving job.
+                self._release_device_item(st, slot_i)
+                raise
             try:
                 t0 = self._now()
-                raw = st.device.run_kernel(
+                raw, cmp_duration = st.device.run_kernel_timed(
                     self.app.compare, keys[i], slot_i.payload, keys[j], slot_j.payload
                 )
                 self.trace.record(st.device.name, "compare", t0, self._now())
@@ -463,10 +527,14 @@ class NodePipeline:
                 self._release_device_item(st, slot_i)
                 self._release_device_item(st, slot_j)
             raw_host = st.device.d2h(raw)
+            t0 = self._now()
             value = self.app.postprocess(keys[i], keys[j], raw_host)
+            post_duration = self._now() - t0
             self.emit_result(i, j, value)
             with self.counters_lock:
                 st.pairs_done += 1
+                self.calibration.record_compare(cmp_duration, st.device.speed_factor)
+                self.calibration.record_postprocess(post_duration)
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             self.fail(exc)
         finally:
@@ -485,6 +553,25 @@ class NodePipeline:
 
     # -- worker loop -----------------------------------------------------
 
+    def _trim_steal(self, task: PairBlock, thief: int, victim: int) -> PairBlock:
+        """Size a stolen block to the thief/victim speed ratio.
+
+        Under the SPEED policy a slow thief keeps only one quadrant per
+        split level (``VictimSelector.split_depth``) and returns the
+        rest to the *top* of the victim's deque, where fast workers
+        steal next.  Must be called under ``sched_lock``.
+        """
+        depth = self._selector.split_depth(thief, victim)
+        leaf = self.config.leaf_size
+        for _ in range(depth):
+            if task.is_leaf(leaf):
+                break
+            children = task.split()
+            task = children[0]
+            for child in reversed(children[1:]):
+                self.deques[victim].push_stealable(child)
+        return task
+
     def _worker(self, d: int) -> None:
         cfg = self.config
         st = self.states[d]
@@ -492,14 +579,23 @@ class NodePipeline:
         idle_rounds = 0
         while not self.done.is_set():
             stole = False
+            trimmed = False
             with self.sched_lock:
                 task = self.deques[d].pop()
                 if task is None:
                     for victim in self._selector.candidates(d):
                         task = self.deques[victim].steal(cfg.steal_order)
                         if task is not None:
+                            full = task
+                            task = self._trim_steal(task, d, victim)
+                            trimmed = task is not full
                             stole = True
                             break
+            if trimmed:
+                # Returned quadrants are fresh steal targets: wake idle
+                # workers instead of letting them sit out a backoff.
+                with self.work_cond:
+                    self.work_cond.notify_all()
             if stole:
                 with self.counters_lock:
                     self.counters["local_steals"] += 1

@@ -16,22 +16,33 @@ work-stealing:
   cache capacity cannot deadlock.
 """
 
-from repro.scheduling.quadtree import PairBlock, iter_pairs_morton
+from repro.scheduling.quadtree import (
+    PairBlock,
+    iter_pairs_morton,
+    partition_blocks,
+    partition_pairs,
+)
 from repro.scheduling.workstealing import (
     TaskDeque,
     VictimSelector,
     StealOrder,
+    StealPolicy,
     WorkerTopology,
+    steal_split_depth,
 )
 from repro.scheduling.throttle import SimAdmission, ThreadAdmission
 
 __all__ = [
     "PairBlock",
     "iter_pairs_morton",
+    "partition_blocks",
+    "partition_pairs",
     "TaskDeque",
     "VictimSelector",
     "StealOrder",
+    "StealPolicy",
     "WorkerTopology",
+    "steal_split_depth",
     "SimAdmission",
     "ThreadAdmission",
 ]

@@ -16,10 +16,11 @@ device cache.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
-__all__ = ["PairBlock", "iter_pairs_morton"]
+__all__ = ["PairBlock", "iter_pairs_morton", "partition_blocks", "partition_pairs"]
 
 
 @dataclass(frozen=True)
@@ -156,6 +157,73 @@ class PairBlock:
             f"PairBlock(rows=[{self.row_lo},{self.row_hi}), "
             f"cols=[{self.col_lo},{self.col_hi}), depth={self.depth}, count={self.count})"
         )
+
+
+def partition_blocks(
+    blocks: Sequence[PairBlock],
+    weights: Sequence[float],
+    granularity: int = 8,
+) -> List[List[PairBlock]]:
+    """Split ``blocks`` into per-worker shares proportional to ``weights``.
+
+    The heterogeneity-aware initial partition (paper Section 6.5): a
+    worker of speed ``w_i`` should start with ``w_i / sum(w)`` of the
+    pairs rather than an equal share, so slow devices do not begin the
+    run holding work they cannot finish.  The block pool is refined by
+    repeatedly splitting the largest block until there are at least
+    ``granularity`` blocks per share (or blocks stop being splittable),
+    then blocks are assigned largest-first to the share with the
+    biggest remaining deficit (LPT scheduling against weighted
+    targets).  Deterministic: equal deficits break toward the lower
+    index.
+    """
+    if not weights:
+        raise ValueError("need at least one weight")
+    if any(w <= 0 for w in weights):
+        raise ValueError(f"weights must be positive, got {tuple(weights)}")
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    k = len(weights)
+    shares: List[List[PairBlock]] = [[] for _ in range(k)]
+    pool = [b for b in blocks if not b.is_empty]
+    if not pool or k == 1:
+        shares[0].extend(pool)
+        return shares
+
+    # Refine: a heap keyed by -count (seq breaks ties deterministically).
+    seq = 0
+    heap: List[Tuple[int, int, PairBlock]] = []
+    for b in pool:
+        heap.append((-b.count, seq, b))
+        seq += 1
+    heapq.heapify(heap)
+    target = granularity * k
+    while len(heap) < target:
+        neg, _, big = heapq.heappop(heap)
+        if big.is_leaf():
+            heapq.heappush(heap, (neg, seq, big))
+            seq += 1
+            break  # largest block is atomic: no further refinement possible
+        for child in big.split():
+            heapq.heappush(heap, (-child.count, seq, child))
+            seq += 1
+
+    refined = sorted((b for _, _, b in heap), key=lambda b: -b.count)
+    total = sum(b.count for b in refined)
+    scale = total / sum(weights)
+    deficit = [w * scale for w in weights]
+    for b in refined:
+        best = max(range(k), key=lambda i: (deficit[i], -i))
+        shares[best].append(b)
+        deficit[best] -= b.count
+    return shares
+
+
+def partition_pairs(
+    n_items: int, weights: Sequence[float], granularity: int = 8
+) -> List[List[PairBlock]]:
+    """Speed-proportional shares of the whole ``n_items`` workload."""
+    return partition_blocks([PairBlock.root(n_items)], weights, granularity)
 
 
 def iter_pairs_morton(n_items: int, leaf_size: int = 1) -> Iterator[Tuple[int, int]]:

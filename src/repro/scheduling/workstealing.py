@@ -14,18 +14,44 @@ Victim selection is hierarchical: an idle worker first tries workers on
 its own node (in random order), then random remote workers — stealing
 locally keeps the host cache warm.  Both choices are ablatable via
 :class:`StealOrder` and the ``hierarchical`` flag.
+
+Heterogeneous platforms (Section 6.5) additionally use the
+speed-weighted :class:`StealPolicy`: victims are ranked by estimated
+remaining *time* (pending pairs divided by device speed) instead of
+shuffled uniformly, and a slow thief splits a stolen block
+:func:`steal_split_depth` times — keeping one quadrant and returning
+the rest to the victim's steal end — so fast workers end up holding
+the large blocks.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Deque, Dict, Generic, Iterator, List, Optional, Sequence, TypeVar
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 import numpy as np
 
-__all__ = ["TaskDeque", "StealOrder", "WorkerTopology", "VictimSelector"]
+__all__ = [
+    "TaskDeque",
+    "StealOrder",
+    "StealPolicy",
+    "WorkerTopology",
+    "VictimSelector",
+    "steal_split_depth",
+]
 
 T = TypeVar("T")
 
@@ -35,6 +61,39 @@ class StealOrder(Enum):
 
     LARGEST = "largest"  # top of the deque: the paper's choice
     SMALLEST = "smallest"  # bottom: ablation baseline
+
+
+class StealPolicy(Enum):
+    """How thieves pick victims and size their steals.
+
+    ``UNIFORM`` is the paper's baseline: victims in (hierarchical)
+    random order, every thief takes whole blocks.  ``SPEED`` is the
+    heterogeneity-aware policy: victims ranked by estimated remaining
+    time, steal sizes scaled by the thief/victim speed ratio, and
+    initial work split proportionally to device speed.
+    """
+
+    UNIFORM = "uniform"
+    SPEED = "speed"
+
+
+def steal_split_depth(
+    thief_speed: float, victim_speed: float, max_depth: int = 3
+) -> int:
+    """How many times a thief should split a stolen block before keeping it.
+
+    A thief half as fast as its victim keeps roughly half the stolen
+    pairs (one split), a quarter as fast two splits, and so on — the
+    returned-to-victim quadrants stay at the victim's steal end where a
+    fast worker will pick them up.  Thieves at least as fast as the
+    victim take the whole block (depth 0).
+    """
+    if thief_speed <= 0 or victim_speed <= 0:
+        raise ValueError("speeds must be positive")
+    ratio = victim_speed / thief_speed
+    if ratio <= 1.0:
+        return 0
+    return min(max_depth, int(math.ceil(math.log2(ratio))))
 
 
 class TaskDeque(Generic[T]):
@@ -50,14 +109,36 @@ class TaskDeque(Generic[T]):
         self.pushes = 0
         self.pops = 0
         self.steals_suffered = 0
+        #: Sum of ``task.count`` over queued tasks (1 for tasks without a
+        #: ``count``) — the estimated remaining work speed-weighted
+        #: victim ranking sorts on.
+        self.pending_pairs = 0
 
     def __len__(self) -> int:
         return len(self._tasks)
+
+    @staticmethod
+    def _work(task: T) -> int:
+        count = getattr(task, "count", 1)
+        # Tasks without a pair count (str.count is a method!) weigh 1.
+        return count if isinstance(count, int) else 1
 
     def push(self, task: T) -> None:
         """Owner pushes a task at the bottom."""
         self._tasks.append(task)
         self.pushes += 1
+        self.pending_pairs += self._work(task)
+
+    def push_stealable(self, task: T) -> None:
+        """Insert a task at the *top* — the next steal target.
+
+        Used by speed-weighted stealing to hand back the quadrants of a
+        split stolen block: they stay prime steal targets for fast
+        workers instead of burying the victim owner's local work.
+        """
+        self._tasks.appendleft(task)
+        self.pushes += 1
+        self.pending_pairs += self._work(task)
 
     def push_children(self, children: Sequence[T]) -> None:
         """Push split children so the *first* child is popped next.
@@ -73,16 +154,18 @@ class TaskDeque(Generic[T]):
         if not self._tasks:
             return None
         self.pops += 1
-        return self._tasks.pop()
+        task = self._tasks.pop()
+        self.pending_pairs -= self._work(task)
+        return task
 
     def steal(self, order: StealOrder = StealOrder.LARGEST) -> Optional[T]:
         """A thief removes a task (top for LARGEST, bottom for SMALLEST)."""
         if not self._tasks:
             return None
         self.steals_suffered += 1
-        if order is StealOrder.LARGEST:
-            return self._tasks.popleft()
-        return self._tasks.pop()
+        task = self._tasks.popleft() if order is StealOrder.LARGEST else self._tasks.pop()
+        self.pending_pairs -= self._work(task)
+        return task
 
     def peek_steal_target(self, order: StealOrder = StealOrder.LARGEST) -> Optional[T]:
         """Look at the task a steal would take, without removing it.
@@ -139,13 +222,23 @@ class WorkerTopology:
 
 
 class VictimSelector:
-    """Random victim ordering with node-first preference.
+    """Victim ordering with node-first preference.
 
     ``candidates(worker)`` yields prospective victims: same-node peers
-    in random order first, then remote workers in random order.  With
-    ``hierarchical=False`` all other workers are yielded in one uniform
-    random order (the ablation baseline — plain random stealing without
-    locality preference).
+    first, then remote workers.  With ``hierarchical=False`` all other
+    workers form one tier (the ablation baseline — plain random
+    stealing without locality preference).
+
+    Within each tier, ordering depends on the :class:`StealPolicy`:
+
+    - ``UNIFORM`` — a fresh random shuffle per call (the paper's
+      randomized stealing);
+    - ``SPEED`` — victims ranked by estimated remaining *time*,
+      ``work_of(victim) / speeds[victim]``, largest first, so thieves
+      relieve the most-backlogged (relative to its speed) worker.
+      Ties keep the random shuffle, preserving the randomized
+      tie-break.  ``work_of`` defaults to a constant, which degrades
+      to slowest-device-first.
     """
 
     def __init__(
@@ -153,9 +246,19 @@ class VictimSelector:
         topology: WorkerTopology,
         rng: np.random.Generator,
         hierarchical: bool = True,
+        policy: StealPolicy = StealPolicy.UNIFORM,
+        speeds: Optional[Sequence[float]] = None,
+        work_of: Optional[Callable[[int], float]] = None,
     ) -> None:
+        if speeds is not None and len(speeds) != topology.n_workers:
+            raise ValueError(
+                f"{len(speeds)} speeds for {topology.n_workers} workers"
+            )
         self.topology = topology
         self.hierarchical = hierarchical
+        self.policy = policy
+        self.speeds = tuple(speeds) if speeds is not None else (1.0,) * topology.n_workers
+        self.work_of = work_of
         self._rng = rng
         # Pre-computed peer lists; shuffled copies are drawn per call.
         self._local: Dict[int, List[int]] = {
@@ -170,15 +273,38 @@ class VictimSelector:
         self._rng.shuffle(out)
         return out
 
+    def _ordered(self, items: List[int]) -> List[int]:
+        out = self._shuffled(items)
+        if self.policy is StealPolicy.SPEED:
+            # Stable sort on the shuffle: equal scores stay random.
+            out.sort(key=self.remaining_time_estimate, reverse=True)
+        return out
+
+    def remaining_time_estimate(self, worker: int) -> float:
+        """Estimated time ``worker`` needs for its queued work."""
+        work = self.work_of(worker) if self.work_of is not None else 1.0
+        return work / self.speeds[worker]
+
     def candidates(self, worker: int) -> Iterator[int]:
         """Yield steal victims for ``worker`` in preference order."""
         if worker < 0 or worker >= self.topology.n_workers:
             raise ValueError(f"unknown worker {worker}")
         if self.hierarchical:
-            yield from self._shuffled(self._local[worker])
-            yield from self._shuffled(self._remote[worker])
+            yield from self._ordered(self._local[worker])
+            yield from self._ordered(self._remote[worker])
         else:
-            yield from self._shuffled(self._local[worker] + self._remote[worker])
+            yield from self._ordered(self._local[worker] + self._remote[worker])
+
+    def split_depth(self, thief: int, victim: int) -> int:
+        """Split depth for a block ``thief`` steals from ``victim``.
+
+        Zero under the UNIFORM policy (whole-block steals, the paper's
+        baseline); under SPEED, :func:`steal_split_depth` of the two
+        workers' speed factors.
+        """
+        if self.policy is not StealPolicy.SPEED:
+            return 0
+        return steal_split_depth(self.speeds[thief], self.speeds[victim])
 
     def is_remote(self, worker: int, victim: int) -> bool:
         """True when ``victim`` lives on a different node than ``worker``."""

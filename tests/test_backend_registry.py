@@ -89,7 +89,7 @@ class TestRegistryErrorPaths:
 
     def test_local_backend_rejects_unknown_options(self, app_and_store):
         app, store = app_and_store
-        with pytest.raises(TypeError, match="no extra options.*n_nodes"):
+        with pytest.raises(TypeError, match="unknown local backend options.*n_nodes"):
             create_backend("local", app, store, n_nodes=4)
 
     def test_cluster_backend_rejects_unknown_options(self, app_and_store):

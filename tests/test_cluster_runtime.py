@@ -348,6 +348,53 @@ class TestClusterRuntime:
         assert stats.hop_stats.misses + stats.hop_stats.no_candidates >= 1
         assert stats.loads >= 10
 
+    def test_heterogeneous_nodes_speed_policy(self):
+        """Per-node speed mixes: parity holds, shares track node speed."""
+        from repro.scheduling.workstealing import StealPolicy
+
+        store, keys = make_store(10)
+        local = run_local(keys, store, **self.CFG)
+        runtime = ClusterRocketRuntime(
+            SumApp(),
+            store,
+            RocketConfig(**dict(self.CFG, steal_policy=StealPolicy.SPEED)),
+            cluster=ClusterConfig(
+                n_nodes=2,
+                fetch_timeout=20.0,
+                steal_timeout=5.0,
+                node_speed_factors=((1.0,), (0.25,)),
+            ),
+        )
+        results = runtime.run(keys)
+        assert results.is_complete()
+        for a, b, v in local.items():
+            assert results.get(a, b) == v
+        stats = runtime.last_stats
+        assert stats.aggregate_speed == pytest.approx(1.25)
+        assert stats.node_stats[0].aggregate_speed == pytest.approx(1.0)
+        assert stats.node_stats[1].aggregate_speed == pytest.approx(0.25)
+        # Online calibration ran on every node and fed the live model.
+        assert stats.calibration is not None
+        assert stats.calibration.cmp_count == stats.n_pairs
+        assert stats.predicted_runtime > 0
+        assert "model: predicted" in stats.summary()
+
+    def test_node_speed_factor_validation(self):
+        store, keys = make_store(4)
+        with pytest.raises(ValueError, match="speed-factor tuples"):
+            ClusterConfig(n_nodes=2, node_speed_factors=((1.0,),))
+        with pytest.raises(ValueError, match=r"must be in \(0, 1\]"):
+            ClusterConfig(n_nodes=2, node_speed_factors=((1.0,), (0.0,)))
+        with pytest.raises(ValueError, match=r"must be in \(0, 1\]"):
+            ClusterConfig(n_nodes=2, node_speed_factors=((1.0,), (2.0,)))
+        with pytest.raises(ValueError, match="speed factors for"):
+            ClusterRocketRuntime(
+                SumApp(),
+                store,
+                RocketConfig(n_devices=2),
+                cluster=ClusterConfig(n_nodes=2, node_speed_factors=((1.0,), (0.5,))),
+            )
+
     def test_pair_filter(self):
         store, keys = make_store(9)
         local = run_local(keys, store, **self.CFG)  # unfiltered sanity baseline
@@ -421,7 +468,7 @@ class TestBackendSelection:
 
     def test_local_backend_rejects_cluster_options(self):
         store, keys = make_store(4)
-        with pytest.raises(TypeError, match="no extra options"):
+        with pytest.raises(TypeError, match="unknown local backend options"):
             Rocket(SumApp(), store, backend="local", n_nodes=2)
 
     def test_conflicting_node_counts_raise(self):

@@ -1,6 +1,7 @@
 """Integration tests for the threaded runtime and virtual devices."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -256,4 +257,113 @@ class TestLocalRocketRuntime:
         with pytest.raises(ValueError):
             RocketConfig(device_speed_factors=(1.0,), n_devices=2)
         with pytest.raises(ValueError):
+            RocketConfig(device_speed_factors=(1.0, -1.0), n_devices=2)
+        with pytest.raises(ValueError, match=r"in \(0, 1\]"):
+            RocketConfig(device_speed_factors=(2.0, 1.0), n_devices=2)
+        with pytest.raises(ValueError):
             RocketConfig(watchdog_seconds=0)
+
+
+class DeviceFailApp(SumApp):
+    """Comparison kernel that dies on one device of the pair.
+
+    ``VirtualDevice`` kernel threads are named ``dev-<device>...``, so
+    raising for a device-name substring injects a fault on exactly one
+    of the node's GPUs while the other keeps working.
+    """
+
+    def __init__(self, poison_device="gpu1"):
+        super().__init__()
+        self.poison_device = poison_device
+
+    def compare(self, key_a, a, key_b, b):
+        time.sleep(0.005)  # keep both devices busy so jobs overlap
+        if self.poison_device in threading.current_thread().name:
+            raise RuntimeError(f"injected kernel fault on {self.poison_device}")
+        return super().compare(key_a, a, key_b, b)
+
+
+class TestPipelineFailurePath:
+    """A kernel raising mid-job must release every token, pin and slot.
+
+    Regression for the leaked first-item pin: a job whose *second*
+    device-cache acquisition failed used to keep its first item pinned
+    forever, wedging eviction for every surviving job and stalling
+    shutdown.
+    """
+
+    #: Three device slots admit two concurrent jobs per device
+    #: (safe_job_limit), so jobs regularly hold their first item while
+    #: waiting on the second — the window the regression lives in.
+    CFG = dict(
+        n_devices=2,
+        device_cache_slots=3,
+        host_cache_slots=8,
+        concurrent_jobs=4,
+        leaf_size=2,
+        seed=9,
+        watchdog_seconds=30.0,
+    )
+
+    def _drain(self, condition, timeout=5.0):
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            if condition():
+                return True
+            time.sleep(0.01)
+        return condition()
+
+    def test_failing_kernel_releases_tokens_and_slots(self):
+        from repro.runtime.pernode import NodePipeline
+        from repro.scheduling.quadtree import PairBlock
+
+        store, values = make_store(8)
+        keys = sorted(values)
+        pipeline = NodePipeline(
+            DeviceFailApp(),
+            store,
+            RocketConfig(**self.CFG),
+            keys,
+            emit_result=lambda i, j, v: None,
+            expected_pairs=28,
+            initial_blocks=[PairBlock.root(len(keys))],
+        )
+        pipeline.start()
+        try:
+            assert pipeline.wait(20.0), "failed run must still signal done"
+            assert pipeline.aborted.is_set()
+            assert pipeline.errors
+            assert any("injected kernel fault" in str(e) for e in pipeline.errors)
+            pipeline.join(timeout=10.0)
+            # Every admitted job must have given its token back and no
+            # device/host slot may stay pinned, even for jobs aborted
+            # between their first and second item acquisition.
+            assert self._drain(
+                lambda: all(st.admission.in_flight == 0 for st in pipeline.states)
+            ), "leaked admission tokens"
+            assert self._drain(
+                lambda: all(st.cache.pinned_count() == 0 for st in pipeline.states)
+            ), "leaked device-cache pins"
+            assert self._drain(lambda: pipeline.host_cache.pinned_count() == 0)
+        finally:
+            t0 = time.perf_counter()
+            pipeline.close()
+            assert time.perf_counter() - t0 < 5.0, "close() hung after kernel fault"
+        pipeline.close()  # idempotent
+
+    def test_failing_kernel_surfaces_through_runtime(self):
+        """End-to-end: the error propagates, the run does not hang."""
+        store, values = make_store(8)
+        runtime = LocalRocketRuntime(DeviceFailApp(), store, RocketConfig(**self.CFG))
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="injected kernel fault"):
+            runtime.run(sorted(values))
+        assert time.perf_counter() - t0 < self.CFG["watchdog_seconds"]
+
+    def test_healthy_device_alone_completes(self):
+        """Poisoning a device that does not exist must be harmless."""
+        store, values = make_store(6)
+        runtime = LocalRocketRuntime(
+            DeviceFailApp(poison_device="gpu9"), store, RocketConfig(**self.CFG)
+        )
+        assert runtime.run(sorted(values)).is_complete()

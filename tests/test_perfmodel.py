@@ -103,3 +103,74 @@ class TestPerformanceModel:
         """
         bound = t_min(FORENSICS)
         assert bound == pytest.approx(13740, rel=0.01)
+
+
+class TestStageCalibration:
+    """Online calibration: measured stage costs -> live model."""
+
+    def _calibrated(self):
+        from repro.model.perfmodel import StageCalibration
+
+        cal = StageCalibration()
+        # Two compare kernels on a full-speed device, two on a
+        # quarter-speed one (4x the wall time): identical reference cost.
+        cal.record_compare(0.010, speed=1.0)
+        cal.record_compare(0.010, speed=1.0)
+        cal.record_compare(0.040, speed=0.25)
+        cal.record_compare(0.040, speed=0.25)
+        cal.record_preprocess(0.020, speed=1.0)
+        cal.record_parse(0.005)
+        cal.record_postprocess(0.001)
+        cal.record_io(1_000_000, 0.01)
+        return cal
+
+    def test_speed_normalisation(self):
+        cal = self._calibrated()
+        assert cal.t_cmp == pytest.approx(0.010)
+        assert cal.t_pre == pytest.approx(0.020)
+        assert cal.t_parse == pytest.approx(0.005)
+        assert cal.t_post == pytest.approx(0.001)
+        assert cal.file_size == pytest.approx(1_000_000)
+        assert cal.io_bandwidth == pytest.approx(1e8)
+
+    def test_unmeasured_stages_are_zero(self):
+        from repro.model.perfmodel import StageCalibration
+
+        cal = StageCalibration()
+        assert cal.t_cmp == 0.0 and cal.t_pre == 0.0
+        assert cal.io_bandwidth is None
+        # A model can still be built (defaults fill the gaps).
+        model = cal.model(n_items=4)
+        assert model.lower_bound() == 0.0
+
+    def test_merge_accumulates(self):
+        from repro.model.perfmodel import StageCalibration
+
+        a = self._calibrated()
+        b = StageCalibration()
+        b.record_compare(0.030, speed=1.0)
+        b.record_io(2_000_000, 0.01)
+        a.merge(b)
+        assert a.cmp_count == 5
+        assert a.t_cmp == pytest.approx((4 * 0.010 + 0.030) / 5)
+        assert a.io_bytes == 3_000_000
+
+    def test_model_round_trip(self):
+        cal = self._calibrated()
+        model = cal.model(n_items=10, aggregate_speed=1.25, cpu_cores=4)
+        profile = model.profile
+        assert profile.n_items == 10
+        assert profile.t_compare[0] == pytest.approx(0.010)
+        assert model.aggregate_speed == 1.25
+        # T_min = (n*t_pre + C(n,2)*t_cmp) / aggregate_speed
+        expected = (10 * 0.020 + 45 * 0.010) / 1.25
+        assert model.lower_bound() == pytest.approx(expected)
+        assert model.predicted_runtime(1.0) >= model.lower_bound() * 0.999
+        assert model.efficiency(expected) == pytest.approx(1.0)
+
+    def test_calibration_is_picklable(self):
+        import pickle
+
+        cal = self._calibrated()
+        clone = pickle.loads(pickle.dumps(cal))
+        assert clone == cal

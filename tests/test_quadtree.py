@@ -146,3 +146,78 @@ class TestRepr:
     def test_repr_mentions_ranges(self):
         text = repr(PairBlock.root(4))
         assert "rows=[0,4)" in text and "count=6" in text
+
+
+class TestPartition:
+    """Speed-proportional partitioning of the workload tree."""
+
+    def _flatten_pairs(self, shares):
+        out = []
+        for share in shares:
+            for block in share:
+                out.extend(block.pairs())
+        return out
+
+    def test_shares_partition_the_workload_exactly(self):
+        from repro.scheduling.quadtree import partition_pairs
+
+        n = 20
+        shares = partition_pairs(n, (1.0, 0.5, 0.25))
+        pairs = self._flatten_pairs(shares)
+        expected = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        assert sorted(pairs) == expected  # disjoint and complete
+
+    def test_shares_are_speed_proportional(self):
+        from repro.scheduling.quadtree import partition_pairs
+
+        n = 40
+        weights = (1.0, 0.25)
+        shares = partition_pairs(n, weights)
+        total = n * (n - 1) // 2
+        counts = [sum(b.count for b in share) for share in shares]
+        assert sum(counts) == total
+        for count, w in zip(counts, weights):
+            target = total * w / sum(weights)
+            # LPT against weighted targets: within one refined block.
+            assert abs(count - target) <= max(b.count for s in shares for b in s)
+        assert counts[0] > counts[1]  # the fast device gets more work
+
+    def test_single_weight_gets_everything(self):
+        from repro.scheduling.quadtree import partition_pairs
+
+        shares = partition_pairs(10, (0.5,))
+        assert sum(b.count for b in shares[0]) == 45
+
+    def test_equal_weights_near_even(self):
+        from repro.scheduling.quadtree import partition_pairs
+
+        shares = partition_pairs(24, (1.0, 1.0, 1.0, 1.0))
+        counts = [sum(b.count for b in share) for share in shares]
+        assert sum(counts) == 276
+        assert max(counts) - min(counts) <= max(counts) // 2
+
+    def test_deterministic(self):
+        from repro.scheduling.quadtree import partition_pairs
+
+        a = partition_pairs(18, (1.0, 0.5))
+        b = partition_pairs(18, (1.0, 0.5))
+        assert a == b
+
+    def test_empty_blocks_and_errors(self):
+        from repro.scheduling.quadtree import partition_blocks
+
+        assert partition_blocks([], (1.0, 1.0)) == [[], []]
+        with pytest.raises(ValueError):
+            partition_blocks([], ())
+        with pytest.raises(ValueError):
+            partition_blocks([], (1.0, 0.0))
+        with pytest.raises(ValueError):
+            partition_blocks([], (1.0,), granularity=0)
+
+    def test_more_weights_than_pairs(self):
+        from repro.scheduling.quadtree import partition_pairs
+
+        # 2 items = 1 pair over 3 workers: one share holds it, rest empty.
+        shares = partition_pairs(2, (1.0, 1.0, 1.0))
+        counts = [sum(b.count for b in share) for share in shares]
+        assert sorted(counts) == [0, 0, 1]

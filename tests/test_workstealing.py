@@ -5,7 +5,14 @@ import pytest
 
 from repro.scheduling.quadtree import PairBlock
 from repro.scheduling.throttle import SimAdmission, ThreadAdmission
-from repro.scheduling.workstealing import StealOrder, TaskDeque, VictimSelector, WorkerTopology
+from repro.scheduling.workstealing import (
+    StealOrder,
+    StealPolicy,
+    TaskDeque,
+    VictimSelector,
+    WorkerTopology,
+    steal_split_depth,
+)
 from repro.sim.engine import Environment
 
 
@@ -58,6 +65,34 @@ class TestTaskDeque:
             remaining.append(t)
         total = stolen.count + sum(t.count for t in remaining)
         assert total == root.count
+
+    def test_pending_pairs_tracks_block_counts(self):
+        dq = TaskDeque(0)
+        root = PairBlock.root(8)
+        dq.push(root)
+        assert dq.pending_pairs == root.count
+        block = dq.pop()
+        assert dq.pending_pairs == 0
+        children = block.split()
+        dq.push_children(children)
+        assert dq.pending_pairs == root.count
+        stolen = dq.steal()
+        assert dq.pending_pairs == root.count - stolen.count
+
+    def test_pending_pairs_counts_plain_tasks_as_one(self):
+        dq = TaskDeque(0)
+        dq.push("a")  # str.count is a method, not a size
+        dq.push("b")
+        assert dq.pending_pairs == 2
+        dq.pop()
+        assert dq.pending_pairs == 1
+
+    def test_push_stealable_lands_at_steal_end(self):
+        dq = TaskDeque(0)
+        dq.push("own")
+        dq.push_stealable("returned")
+        assert dq.steal(StealOrder.LARGEST) == "returned"
+        assert dq.pop() == "own"
 
 
 class TestWorkerTopology:
@@ -114,6 +149,93 @@ class TestVictimSelector:
         selector, _ = self._selector()
         orders = {tuple(selector.candidates(0)) for _ in range(20)}
         assert len(orders) > 1
+
+    def test_deterministic_under_fixed_seed(self):
+        """The same seed must reproduce the exact candidate sequences."""
+
+        def sequences(seed):
+            topo = WorkerTopology.from_gpus_per_node([2, 2, 2])
+            sel = VictimSelector(topo, np.random.default_rng(seed))
+            return [tuple(sel.candidates(w)) for w in range(topo.n_workers) for _ in range(5)]
+
+        assert sequences(7) == sequences(7)
+        assert sequences(7) != sequences(8)
+
+
+class TestSpeedPolicy:
+    """The heterogeneity-aware victim ranking and steal sizing."""
+
+    TOPO = WorkerTopology.from_gpus_per_node([2, 2])
+
+    def _selector(self, speeds, work, hierarchical=True, seed=3):
+        return VictimSelector(
+            self.TOPO,
+            np.random.default_rng(seed),
+            hierarchical=hierarchical,
+            policy=StealPolicy.SPEED,
+            speeds=speeds,
+            work_of=lambda w: float(work[w]),
+        )
+
+    def test_victims_ranked_by_remaining_time(self):
+        # Worker 2 has less work than 3 but is 4x slower: it will take
+        # longer to finish, so it must be probed first.
+        sel = self._selector(
+            speeds=(1.0, 1.0, 0.25, 1.0), work=[0, 0, 8, 16], hierarchical=False
+        )
+        order = list(sel.candidates(0))
+        assert order[0] == 2  # 8 / 0.25 = 32 > 16 / 1.0
+        assert order[1] == 3
+        assert sel.remaining_time_estimate(2) == pytest.approx(32.0)
+
+    def test_locality_tiers_preserved_under_hierarchical(self):
+        # Remote worker 3 has far more backlog, but the same-node peer
+        # still comes first: locality beats magnitude across tiers.
+        sel = self._selector(speeds=(1.0, 1.0, 1.0, 1.0), work=[0, 1, 64, 64])
+        for _ in range(10):
+            order = list(sel.candidates(0))
+            assert order[0] == 1
+            assert set(order[1:]) == {2, 3}
+
+    def test_ranking_is_deterministic_given_distinct_scores(self):
+        sel = self._selector(speeds=(1.0, 1.0, 1.0, 1.0), work=[0, 0, 5, 9], hierarchical=False)
+        orders = {tuple(sel.candidates(0)) for _ in range(10)}
+        assert orders == {(3, 2, 1)}
+
+    def test_uniform_policy_ignores_work_estimates(self):
+        sel = VictimSelector(
+            self.TOPO,
+            np.random.default_rng(0),
+            hierarchical=False,
+            policy=StealPolicy.UNIFORM,
+            speeds=(1.0, 1.0, 1.0, 0.01),
+            work_of=lambda w: 1e9 if w == 3 else 0.0,
+        )
+        firsts = {next(iter(sel.candidates(0))) for _ in range(30)}
+        assert len(firsts) > 1  # still randomized, not pinned to worker 3
+
+    def test_split_depth_scales_with_speed_ratio(self):
+        # Fast thieves keep whole (large) blocks; slow thieves split.
+        assert steal_split_depth(1.0, 1.0) == 0
+        assert steal_split_depth(1.0, 0.25) == 0  # fast thief, slow victim
+        assert steal_split_depth(0.5, 1.0) == 1
+        assert steal_split_depth(0.25, 1.0) == 2
+        assert steal_split_depth(0.01, 1.0, max_depth=3) == 3  # capped
+        with pytest.raises(ValueError):
+            steal_split_depth(0.0, 1.0)
+
+    def test_selector_split_depth_uses_policy(self):
+        sel = self._selector(speeds=(1.0, 0.25, 1.0, 1.0), work=[0, 0, 0, 0])
+        assert sel.split_depth(thief=1, victim=0) == 2
+        assert sel.split_depth(thief=0, victim=1) == 0
+        uniform = VictimSelector(
+            self.TOPO, np.random.default_rng(0), speeds=(1.0, 0.25, 1.0, 1.0)
+        )
+        assert uniform.split_depth(thief=1, victim=0) == 0
+
+    def test_speed_length_validated(self):
+        with pytest.raises(ValueError, match="speeds"):
+            VictimSelector(self.TOPO, np.random.default_rng(0), speeds=(1.0,))
 
 
 class TestSimAdmission:
