@@ -45,7 +45,22 @@ live (results are identical; only the substrate changes)::
     print(rocket.last_stats.summary())  # includes the hop histogram totals
 """
 
-from repro.core import Application, Rocket, RocketConfig, ResultMatrix, HostBuffer, DeviceBuffer
+from repro.core import (
+    AllPairs,
+    Application,
+    Bipartite,
+    DeltaPairs,
+    DeviceBuffer,
+    FilteredPairs,
+    HostBuffer,
+    ResultMatrix,
+    Rocket,
+    RocketConfig,
+    RocketSession,
+    RunHandle,
+    RunState,
+    Workload,
+)
 from repro.runtime import (
     ClusterConfig,
     ClusterRocketRuntime,
@@ -55,12 +70,20 @@ from repro.runtime import (
     VirtualDevice,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Application",
     "Rocket",
     "RocketConfig",
+    "RocketSession",
+    "RunHandle",
+    "RunState",
+    "Workload",
+    "AllPairs",
+    "FilteredPairs",
+    "Bipartite",
+    "DeltaPairs",
     "ResultMatrix",
     "HostBuffer",
     "DeviceBuffer",

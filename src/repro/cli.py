@@ -55,6 +55,19 @@ def build_parser() -> argparse.ArgumentParser:
             "heterogeneity-aware scheduling (speed-proportional partition, "
             "remaining-work victim ranking, speed-scaled steals)",
         )
+        shape = p.add_mutually_exclusive_group()
+        shape.add_argument(
+            "--bipartite", type=int, default=None, metavar="N",
+            help="bipartite workload: compare the first N items (the query "
+            "set) against the remaining items (the reference corpus) "
+            "instead of computing all pairs",
+        )
+        shape.add_argument(
+            "--delta", type=int, default=None, metavar="N",
+            help="delta workload: treat the last N items as newly added and "
+            "compute only new-vs-old and new-vs-new pairs (incremental "
+            "corpus growth)",
+        )
         if with_backend:
             p.add_argument(
                 "--backend", choices=["local", "cluster"], default="local",
@@ -177,6 +190,26 @@ def _parse_device_speeds(spec: Optional[str], devices: int, nodes: int):
     )
 
 
+def _make_workload(keys, bipartite: Optional[int], delta: Optional[int]):
+    """Build the run's workload from the CLI shape flags."""
+    from repro.core.workload import AllPairs, Bipartite, DeltaPairs
+
+    if bipartite is not None:
+        if not 1 <= bipartite < len(keys):
+            raise SystemExit(
+                f"--bipartite needs a query-set size in [1, {len(keys) - 1}], "
+                f"got {bipartite}"
+            )
+        return Bipartite(keys[:bipartite], keys[bipartite:])
+    if delta is not None:
+        if not 1 <= delta < len(keys):
+            raise SystemExit(
+                f"--delta needs a new-batch size in [1, {len(keys) - 1}], got {delta}"
+            )
+        return DeltaPairs(keys[:-delta], keys[-delta:])
+    return AllPairs(keys)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.rocket import Rocket
     from repro.data.filestore import InMemoryStore
@@ -210,8 +243,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             result_batch=args.result_batch,
             node_speed_factors=node_speeds,
         )
+    workload = _make_workload(keys, args.bipartite, args.delta)
     rocket = Rocket(app, store, config, backend=backend, **options)
-    results = rocket.run(keys)
+    results = rocket.run(workload)
+    print(workload.describe())
     print(rocket.last_stats.summary())
     sample = list(results.items())[:5]
     for a, b, v in sample:

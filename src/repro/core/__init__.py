@@ -7,12 +7,29 @@ compare on GPU, post-process on CPU) — and hand it to
 Rocket takes care of "network communication, data transfers, memory
 management, scheduling, exploiting data reuse, load balancing, and
 overlapping computation with I/O".
+
+Beyond the paper's one-shot call, the package provides the
+session/job execution API: :class:`~repro.core.workload.Workload`
+objects describe *which* pairs to compare (:class:`AllPairs`,
+:class:`FilteredPairs`, :class:`Bipartite`, :class:`DeltaPairs`), a
+:class:`~repro.core.session.RocketSession` executes many of them
+against one warm backend, and each submission's
+:class:`~repro.core.session.RunHandle` offers blocking results,
+incremental streaming, progress and cancellation.
 """
 
 from repro.core.api import Application
 from repro.core.buffers import HostBuffer, DeviceBuffer
 from repro.core.result import ResultMatrix
 from repro.core.rocket import Rocket, RocketConfig
+from repro.core.session import RocketSession, RunHandle, RunState
+from repro.core.workload import (
+    AllPairs,
+    Bipartite,
+    DeltaPairs,
+    FilteredPairs,
+    Workload,
+)
 
 __all__ = [
     "Application",
@@ -21,4 +38,12 @@ __all__ = [
     "ResultMatrix",
     "Rocket",
     "RocketConfig",
+    "RocketSession",
+    "RunHandle",
+    "RunState",
+    "Workload",
+    "AllPairs",
+    "FilteredPairs",
+    "Bipartite",
+    "DeltaPairs",
 ]

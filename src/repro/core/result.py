@@ -1,16 +1,26 @@
-"""Result collection for all-pairs runs.
+"""Result collection for all-pairs (and partial-triangle) runs.
 
 The output of an all-pairs computation is the strict upper triangle of
 an ``n x n`` matrix (paper Fig. 1).  :class:`ResultMatrix` stores it
 keyed by unordered key pairs, thread-safely (jobs complete concurrently
 in the threaded runtime), and converts to dense/condensed NumPy forms
 for downstream analysis such as the phylogeny clustering.
+
+Workload shapes beyond the full triangle
+(:mod:`repro.core.workload`: filtered, bipartite, delta) are
+first-class: ``expected_pairs`` records how many cells the producing
+workload fills, so :meth:`ResultMatrix.is_complete` is meaningful for
+partial triangles; :meth:`ResultMatrix.to_dense` fills the cells the
+workload never computes with ``fill`` (pass ``fill=float("nan")`` to
+make them unmistakable); and :meth:`ResultMatrix.merge` combines a
+prior corpus matrix with a ``DeltaPairs`` run's matrix into the full
+matrix of the grown corpus.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Generic, Hashable, Iterator, List, Sequence, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -23,7 +33,7 @@ V = TypeVar("V")
 class ResultMatrix(Generic[K, V]):
     """Upper-triangular result store over an ordered key list."""
 
-    def __init__(self, keys: Sequence[K]) -> None:
+    def __init__(self, keys: Sequence[K], expected_pairs: Optional[int] = None) -> None:
         if len(keys) < 2:
             raise ValueError(f"need at least 2 keys, got {len(keys)}")
         if len(set(keys)) != len(keys):
@@ -32,6 +42,15 @@ class ResultMatrix(Generic[K, V]):
         self._index: Dict[K, int] = {k: i for i, k in enumerate(self.keys)}
         self._values: Dict[Tuple[int, int], V] = {}
         self._lock = threading.Lock()
+        if expected_pairs is None:
+            expected_pairs = self.n_pairs
+        if not 1 <= expected_pairs <= self.n_pairs:
+            raise ValueError(
+                f"expected_pairs must be in [1, {self.n_pairs}], got {expected_pairs}"
+            )
+        #: Cells the producing workload fills — ``C(n, 2)`` for a full
+        #: all-pairs run, fewer for filtered/bipartite/delta shapes.
+        self.expected_pairs: int = expected_pairs
 
     @property
     def n_items(self) -> int:
@@ -40,7 +59,7 @@ class ResultMatrix(Generic[K, V]):
 
     @property
     def n_pairs(self) -> int:
-        """Number of pair cells ``C(n, 2)``."""
+        """Number of pair cells ``C(n, 2)`` in the full triangle."""
         n = len(self.keys)
         return n * (n - 1) // 2
 
@@ -75,9 +94,13 @@ class ResultMatrix(Generic[K, V]):
                 raise KeyError(f"no result recorded for pair {a!r}, {b!r}") from None
 
     def is_complete(self) -> bool:
-        """True once every pair has a result."""
+        """True once every *expected* pair has a result.
+
+        For a plain all-pairs matrix this is the full triangle; for a
+        filtered/bipartite/delta shape it is the workload's pair set.
+        """
         with self._lock:
-            return len(self._values) == self.n_pairs
+            return len(self._values) == self.expected_pairs
 
     def items(self) -> Iterator[Tuple[K, K, V]]:
         """Iterate ``(key_a, key_b, value)`` in (i, j) index order."""
@@ -89,8 +112,13 @@ class ResultMatrix(Generic[K, V]):
     def to_dense(self, fill: float = 0.0, symmetric: bool = True) -> np.ndarray:
         """Dense ``n x n`` float matrix of the scalar results.
 
-        The diagonal is set to ``fill``; with ``symmetric=True`` the
-        lower triangle mirrors the upper one (distance-matrix form).
+        Well-defined for *incomplete* triangles: every cell without a
+        recorded result — the diagonal, pairs a filter rejected, the
+        reference-internal block of a bipartite run, pairs still in
+        flight — is set to ``fill``.  Pass ``fill=float("nan")`` to
+        make uncomputed cells unmistakable downstream.  With
+        ``symmetric=True`` the lower triangle mirrors the upper one
+        (distance-matrix form).
         """
         n = self.n_items
         out = np.full((n, n), fill, dtype=np.float64)
@@ -104,10 +132,11 @@ class ResultMatrix(Generic[K, V]):
     def to_condensed(self) -> np.ndarray:
         """SciPy condensed distance-vector form (row-major upper triangle).
 
-        Raises if the matrix is incomplete (SciPy clustering needs all
-        pairs).
+        Raises if the full triangle is incomplete (SciPy clustering
+        needs all ``C(n, 2)`` pairs) — partial workload shapes must be
+        :meth:`merge`-completed or exported via :meth:`to_dense`.
         """
-        if not self.is_complete():
+        if len(self) != self.n_pairs:
             raise ValueError(
                 f"result matrix incomplete: {len(self)} of {self.n_pairs} pairs present"
             )
@@ -120,6 +149,34 @@ class ResultMatrix(Generic[K, V]):
                     out[pos] = float(self._values[(i, j)])  # type: ignore[arg-type]
                     pos += 1
         return out
+
+    def merge(self, other: "ResultMatrix[K, V]") -> "ResultMatrix[K, V]":
+        """Combine this matrix with ``other`` into a new matrix.
+
+        The canonical use is folding a :class:`~repro.core.workload.DeltaPairs`
+        run into the prior corpus matrix: ``full = prior.merge(delta)``
+        yields the all-pairs matrix of the grown corpus without
+        recomputing the prior triangle.  The merged key order is this
+        matrix's keys followed by ``other``'s unseen keys; the merged
+        ``expected_pairs`` is the sum of both shapes (for the delta
+        case exactly the grown corpus's full triangle).  A pair with a
+        result in *both* matrices is a conflict and raises.
+        """
+        merged_keys = list(self.keys) + [k for k in other.keys if k not in self._index]
+        n = len(merged_keys)
+        expected = min(self.expected_pairs + other.expected_pairs, n * (n - 1) // 2)
+        merged: ResultMatrix[K, V] = ResultMatrix(merged_keys, expected_pairs=expected)
+        for a, b, v in self.items():
+            merged.set(a, b, v)
+        for a, b, v in other.items():
+            try:
+                merged.set(a, b, v)
+            except ValueError:
+                raise ValueError(
+                    f"pair {a!r}, {b!r} has a result in both matrices; "
+                    f"merge() requires disjoint pair sets"
+                ) from None
+        return merged
 
 
 def save_results(matrix: "ResultMatrix", path) -> None:
@@ -134,7 +191,12 @@ def save_results(matrix: "ResultMatrix", path) -> None:
     with matrix._lock:
         for (i, j), v in sorted(matrix._values.items()):
             triples.append([i, j, float(v)])  # type: ignore[arg-type]
-    doc = {"format": "rocket-results", "keys": list(map(str, matrix.keys)), "values": triples}
+    doc = {
+        "format": "rocket-results",
+        "keys": list(map(str, matrix.keys)),
+        "values": triples,
+        "expected_pairs": matrix.expected_pairs,
+    }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
 
@@ -147,7 +209,9 @@ def load_results(path) -> "ResultMatrix[str, float]":
         doc = json.load(fh)
     if doc.get("format") != "rocket-results":
         raise ValueError(f"{path} is not a rocket result file")
-    matrix: ResultMatrix[str, float] = ResultMatrix(doc["keys"])
+    matrix: ResultMatrix[str, float] = ResultMatrix(
+        doc["keys"], expected_pairs=doc.get("expected_pairs")
+    )
     keys = matrix.keys
     for i, j, v in doc["values"]:
         matrix.set(keys[i], keys[j], float(v))

@@ -21,6 +21,28 @@ execution backend and returns the
   ``Rocket(app, store, backend="cluster", transport="shm",
   result_batch=128)``.
 
+**Execution model.**  :meth:`Rocket.run` is the paper's one-shot call:
+it opens a session on the backend, submits a single workload, blocks
+for the result and tears the session down.  The session machinery
+itself is the primary API (:class:`~repro.core.session.RocketSession`):
+a long-lived runtime that accepts many
+:class:`~repro.core.workload.Workload` submissions — :class:`AllPairs`,
+:class:`FilteredPairs`, :class:`Bipartite` (query set vs. reference
+corpus), :class:`DeltaPairs` (incremental corpus growth) — streams
+results as they complete (``handle.stream()``), reports progress and
+supports cancellation, while keeping worker processes, the transport
+fabric and every cache level warm between jobs.  Open one with
+:meth:`Rocket.session` (or construct a
+:class:`~repro.core.session.RocketSession` directly)::
+
+    with rocket.session() as session:
+        handle = session.submit(Bipartite(queries, corpus))
+        for key_a, key_b, value in handle.stream():
+            ...
+
+``run(keys, pair_filter=...)`` remains supported; ``pair_filter`` is
+the deprecated spelling of ``run(FilteredPairs(keys, predicate))``.
+
 Heterogeneous platforms (paper Section 6.5): both backends accept
 ``device_speeds=(1.0, 0.25)`` (per-device kernel speed factors) and
 ``steal_policy="speed"`` — the heterogeneity-aware scheduler that
@@ -39,10 +61,12 @@ cache/scheduling logic on a simulated platform.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Sequence
+from typing import Hashable, Sequence, Union
 
 from repro.core.api import Application
 from repro.core.result import ResultMatrix
+from repro.core.session import RocketSession
+from repro.core.workload import Workload
 from repro.data.filestore import FileStore
 from repro.runtime.backend import available_backends, create_backend
 from repro.runtime.localrocket import RocketConfig
@@ -76,13 +100,31 @@ class Rocket:
         """Names of all registered execution backends."""
         return available_backends()
 
-    def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
-        """Compute ``f(l(i), l(j))`` for every key pair ``i < j``.
+    def run(
+        self,
+        keys: Union[Sequence[Hashable], Workload],
+        pair_filter=None,
+    ) -> ResultMatrix:
+        """Execute one workload to completion (a one-shot session).
 
-        ``pair_filter`` optionally restricts the workload to accepted
-        pairs (see :meth:`repro.runtime.localrocket.LocalRocketRuntime.run`).
+        ``keys`` is a plain key sequence (the paper's interface: all
+        pairs ``i < j``) or any :class:`~repro.core.workload.Workload`.
+        ``pair_filter`` optionally restricts a plain key list to
+        accepted pairs — the legacy spelling of
+        :class:`~repro.core.workload.FilteredPairs`, kept for
+        compatibility.
         """
         return self._runtime.run(keys, pair_filter=pair_filter)
+
+    def session(self) -> RocketSession:
+        """Open a long-lived session on this Rocket's backend.
+
+        The session accepts many workload submissions
+        (``session.submit(workload) -> RunHandle``) and keeps the
+        backend's worker processes and cache levels warm between them;
+        close it (context manager or ``close()``) to tear them down.
+        """
+        return RocketSession._wrap(self._runtime)
 
     @property
     def last_stats(self):

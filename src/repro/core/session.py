@@ -1,0 +1,290 @@
+"""Sessions and run handles: the job-oriented execution API.
+
+``Rocket.run(keys)`` reproduces the paper's interface — one blocking
+call, one dense result, the backend torn down afterwards.  A
+:class:`RocketSession` is the production shape of the same machinery: a
+long-lived runtime that accepts many :class:`~repro.core.workload.Workload`
+submissions, streams results as they complete, and keeps the backend's
+expensive state — worker processes, transport fabric, device/host/
+distributed cache levels — alive *between* jobs, so a second job over
+overlapping keys hits warm caches instead of re-spawning the world and
+re-running the load pipeline::
+
+    with RocketSession(app, store, backend="cluster", n_nodes=4) as session:
+        first = session.submit(AllPairs(corpus))
+        for a, b, value in first.stream():     # results as they land
+            index.update(a, b, value)
+        second = session.submit(DeltaPairs(corpus, new_items))  # warm caches
+        grown = results.merge(second.result())
+
+Each submission returns a :class:`RunHandle` — the job's future:
+``result()`` blocks for the shaped
+:class:`~repro.core.result.ResultMatrix`, ``stream()`` iterates
+``(key_a, key_b, value)`` triples as result batches land, ``progress()``
+reports pairs done vs. total, and ``cancel()`` aborts the job while
+leaving the session usable for the next one.
+
+The session delegates to a backend-specific
+:class:`~repro.runtime.backend.BackendSession` (threaded local engine,
+or the multi-process cluster with its persistent node processes); jobs
+within one session execute serially, in submission order.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Iterator, Optional, Tuple
+
+from repro.core.result import ResultMatrix
+from repro.core.workload import Workload, as_workload
+
+__all__ = ["RunState", "RunHandle", "RocketSession"]
+
+
+class RunState(enum.Enum):
+    """Lifecycle of one submitted job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job can no longer leave.
+_TERMINAL = (RunState.DONE, RunState.FAILED, RunState.CANCELLED)
+
+
+class RunHandle:
+    """Live view of one submitted workload's execution.
+
+    Produced by ``session.submit(workload)``; consumed from the
+    submitting side.  The backend records results through the private
+    ``_record`` / ``_finish`` hooks; user code reads them through
+    :meth:`result`, :meth:`stream` and :meth:`progress`.
+    """
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        self._keys = workload.keys
+        self._matrix: ResultMatrix = workload.make_result()
+        self._total = workload.n_pairs
+        self._cond = threading.Condition()
+        self._pending_stream: Deque[Tuple[Any, Any, Any]] = deque()
+        self._streaming = False
+        self._state = RunState.PENDING
+        self._error: Optional[BaseException] = None
+        self._cancel_requested = False
+        self._cancel_cb: Optional[Callable[[], None]] = None
+        #: Backend-specific statistics of the finished job (RunStats /
+        #: ClusterRunStats), None until DONE.
+        self.stats: Any = None
+
+    # -- interrogation ---------------------------------------------------
+
+    @property
+    def state(self) -> RunState:
+        return self._state
+
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self._state in _TERMINAL
+
+    def progress(self) -> Tuple[int, int]:
+        """``(pairs_done, pairs_total)`` of this job, live."""
+        return len(self._matrix), self._total
+
+    # -- consumption -----------------------------------------------------
+
+    def result(self, timeout: Optional[float] = None) -> ResultMatrix:
+        """Block until the job finishes; return its result matrix.
+
+        Raises the job's error for FAILED jobs, ``RuntimeError`` for
+        cancelled ones, and ``TimeoutError`` if ``timeout`` elapses
+        first.
+        """
+        with self._cond:
+            if not self._cond.wait_for(self.done, timeout=timeout):
+                raise TimeoutError(
+                    f"job did not finish within {timeout}s "
+                    f"({len(self._matrix)}/{self._total} pairs)"
+                )
+        if self._state is RunState.FAILED:
+            assert self._error is not None
+            raise self._error
+        if self._state is RunState.CANCELLED:
+            raise RuntimeError("job was cancelled")
+        return self._matrix
+
+    def stream(self) -> Iterator[Tuple[Any, Any, Any]]:
+        """Iterate ``(key_a, key_b, value)`` as result batches land.
+
+        Lazy: pairs are yielded as the backend delivers them, in
+        arrival order, each pair exactly once — across *all* stream
+        iterators of this handle collectively (concurrent consumers
+        split the stream; use one consumer for the common case).  The
+        iterator ends when the job reaches a terminal state and every
+        delivered pair has been yielded; a FAILED job's error is raised
+        after the delivered pairs are drained.
+        """
+        with self._cond:
+            if not self._streaming:
+                self._streaming = True
+                if self.done():
+                    # The stream buffer was released when the job ended
+                    # with no consumer; recover the pairs from the
+                    # matrix (arrival order is lost, the set is not).
+                    self._pending_stream.extend(self._matrix.items())
+        while True:
+            with self._cond:
+                self._cond.wait_for(lambda: self._pending_stream or self.done())
+                if self._pending_stream:
+                    item = self._pending_stream.popleft()
+                else:
+                    break
+            yield item
+        if self._state is RunState.FAILED:
+            assert self._error is not None
+            raise self._error
+
+    def cancel(self) -> bool:
+        """Request cancellation; True if the job was still cancellable.
+
+        A PENDING job is dropped before it starts; a RUNNING job is
+        aborted (in-flight pair jobs drain, their late results are
+        discarded).  The owning session stays usable for subsequent
+        submissions.  ``result()`` raises for cancelled jobs; the
+        pairs already streamed remain valid.
+        """
+        with self._cond:
+            if self.done():
+                return False
+            self._cancel_requested = True
+            cb = self._cancel_cb
+        if cb is not None:
+            cb()
+        return True
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel_requested
+
+    # -- backend-side hooks ---------------------------------------------
+
+    def _mark_running(self, cancel_cb: Optional[Callable[[], None]]) -> None:
+        with self._cond:
+            self._state = RunState.RUNNING
+            self._cancel_cb = cancel_cb
+            already_cancelled = self._cancel_requested
+        if already_cancelled and cancel_cb is not None:
+            # cancel() landed between the dispatcher's pre-check and
+            # this point: apply it now instead of losing it.
+            cancel_cb()
+
+    def _record(self, i: int, j: int, value: Any) -> None:
+        """Record one pair result by index into the workload's key list."""
+        a, b = self._keys[i], self._keys[j]
+        self._matrix.set(a, b, value)
+        with self._cond:
+            self._pending_stream.append((a, b, value))
+            self._cond.notify_all()
+
+    def _finish(
+        self,
+        state: RunState,
+        stats: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        assert state in _TERMINAL
+        with self._cond:
+            self._state = state
+            self._error = error
+            self.stats = stats
+            self._cancel_cb = None
+            if not self._streaming:
+                # Nobody streamed this job: release the buffered copy
+                # (the matrix holds the results; a late stream() call
+                # re-seeds from it) instead of keeping every pair twice
+                # for the handle's lifetime.
+                self._pending_stream.clear()
+            self._cond.notify_all()
+
+
+class RocketSession:
+    """A long-lived Rocket runtime accepting many workload submissions.
+
+    Construction spins the selected backend up once (cluster: worker
+    processes + transport fabric; local: devices, caches and pools);
+    every :meth:`submit` then runs against that warm state.  Close the
+    session (or use it as a context manager) to tear the backend down.
+
+    ``Rocket.run(keys)`` is now exactly a one-shot session: open,
+    submit, wait, close.
+    """
+
+    def __init__(
+        self,
+        app,
+        store,
+        config=None,
+        backend: str = "local",
+        **backend_options,
+    ) -> None:
+        from repro.runtime.backend import create_backend
+        from repro.runtime.localrocket import RocketConfig
+
+        self._backend = create_backend(
+            backend, app, store,
+            config if config is not None else RocketConfig(),
+            **backend_options,
+        )
+        self._session = self._backend.open_session()
+
+    @classmethod
+    def _wrap(cls, backend) -> "RocketSession":
+        """Build a session around an existing backend instance."""
+        self = cls.__new__(cls)
+        self._backend = backend
+        self._session = backend.open_session()
+        return self
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Name of the executing backend."""
+        return self._backend.name
+
+    def submit(self, workload) -> RunHandle:
+        """Queue a workload for execution; returns its :class:`RunHandle`.
+
+        Accepts a :class:`~repro.core.workload.Workload` or a plain key
+        sequence (interpreted as :class:`~repro.core.workload.AllPairs`).
+        Jobs run serially in submission order.
+        """
+        return self._session.submit(as_workload(workload))
+
+    def run(self, workload) -> ResultMatrix:
+        """Submit and block for the result (convenience wrapper)."""
+        return self.submit(workload).result()
+
+    @property
+    def last_stats(self):
+        """Statistics of the session's most recently completed job."""
+        return self._backend.last_stats
+
+    def close(self) -> None:
+        """Tear down the backend (cancels queued and running jobs)."""
+        self._session.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._session.closed
+
+    def __enter__(self) -> "RocketSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

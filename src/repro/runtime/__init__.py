@@ -30,22 +30,36 @@ same architecture on actual OS threads and processes:
   ``Rocket(..., backend=...)``.
 """
 
-from repro.runtime.backend import RocketBackend, available_backends, create_backend
-from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime, ClusterRunStats
+from repro.runtime.backend import (
+    BackendSession,
+    RocketBackend,
+    available_backends,
+    create_backend,
+)
+from repro.runtime.cluster import (
+    ClusterConfig,
+    ClusterRocketRuntime,
+    ClusterRunStats,
+    ClusterSession,
+)
 from repro.runtime.devices import VirtualDevice
-from repro.runtime.localrocket import LocalRocketRuntime, RunStats
-from repro.runtime.pernode import NodePipeline, NodeStats
+from repro.runtime.localrocket import LocalRocketRuntime, LocalSession, RunStats
+from repro.runtime.pernode import NodeEngine, NodePipeline, NodeStats
 from repro.runtime.transport import Transport, TransportFabric, available_transports
 
 __all__ = [
     "VirtualDevice",
     "LocalRocketRuntime",
+    "LocalSession",
     "RunStats",
+    "NodeEngine",
     "NodePipeline",
     "NodeStats",
     "ClusterConfig",
     "ClusterRocketRuntime",
     "ClusterRunStats",
+    "ClusterSession",
+    "BackendSession",
     "RocketBackend",
     "available_backends",
     "create_backend",

@@ -5,9 +5,16 @@ substrates — the threaded single-process runtime, or the multi-process
 cluster runtime — behind one interface (the ``AbstractRunner`` /
 concrete-runner split familiar from pipeline frameworks):
 
-- :class:`RocketBackend` — the interface: ``run(keys, pair_filter)``
-  returning a :class:`~repro.core.result.ResultMatrix`, plus a
-  ``last_stats`` attribute holding backend-specific run statistics;
+- :class:`RocketBackend` — the interface: ``open_session()`` returning
+  a live :class:`BackendSession` that accepts
+  :class:`~repro.core.workload.Workload` submissions, plus the
+  one-shot ``run(keys, pair_filter)`` compatibility wrapper (open a
+  session, submit, wait, close) and a ``last_stats`` attribute holding
+  backend-specific statistics of the most recent job;
+- :class:`BackendSession` — one live execution context: worker
+  processes / threads, transport fabric and every cache level stay up
+  across ``submit()`` calls, so consecutive jobs over overlapping keys
+  reuse warm state;
 - a registry mapping backend names to factories, so
   ``Rocket(app, store, backend="cluster", n_nodes=4)`` needs no imports
   from the caller.
@@ -24,19 +31,58 @@ from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.core.api import Application
 from repro.core.result import ResultMatrix
+from repro.core.session import RunHandle
+from repro.core.workload import Workload, as_workload
 from repro.data.filestore import FileStore
 
-__all__ = ["RocketBackend", "available_backends", "create_backend", "register_backend"]
+__all__ = [
+    "BackendSession",
+    "RocketBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]
+
+
+class BackendSession(ABC):
+    """One live execution context of a backend.
+
+    Jobs submitted to a session run serially, in order, against shared
+    warm state; :meth:`close` tears that state down (cancelling any
+    queued or running job).  Sessions are what
+    :class:`~repro.core.session.RocketSession` wraps.
+    """
+
+    @abstractmethod
+    def submit(self, workload: Workload) -> RunHandle:
+        """Queue ``workload``; returns the job's handle immediately."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Shut the session down (idempotent)."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (or the session died)."""
+
+    def __enter__(self) -> "BackendSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class RocketBackend(ABC):
     """One way of executing an all-pairs application.
 
-    Concrete backends expose ``last_stats`` (``None`` before any run;
-    the stats type is backend-specific — ``RunStats`` for the local
-    backend, ``ClusterRunStats`` for the cluster backend) and must leave
-    the result matrix identical across backends: the pipeline callbacks
-    are pure, so only timing may differ.
+    Concrete backends implement :meth:`open_session`; the blocking
+    :meth:`run` wrapper is derived.  They expose ``last_stats``
+    (``None`` before any run; the stats type is backend-specific —
+    ``RunStats`` for the local backend, ``ClusterRunStats`` for the
+    cluster backend) and must leave the result matrix identical across
+    backends: the pipeline callbacks are pure, so only timing may
+    differ.
     """
 
     #: Registry key of the backend (set by subclasses).
@@ -44,9 +90,35 @@ class RocketBackend(ABC):
 
     last_stats: Optional[Any] = None
 
-    @abstractmethod
+    def open_session(self) -> BackendSession:
+        """Spin up a live session against this backend's configuration."""
+        raise NotImplementedError(f"backend {self.name!r} does not support sessions")
+
+    def _one_shot_session(self, workload: Workload) -> BackendSession:
+        """The session :meth:`run` executes its single workload on.
+
+        Backends that can size resources to one known workload (e.g.
+        the local engine's cache-slot bound) override this; the default
+        is a plain :meth:`open_session`.
+        """
+        return self.open_session()
+
     def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
-        """Execute the all-pairs workload over ``keys``."""
+        """Execute one workload to completion (one-shot session).
+
+        ``keys`` may be a plain key sequence — optionally restricted by
+        the legacy ``pair_filter`` predicate — or any
+        :class:`~repro.core.workload.Workload`.  Statistics land in
+        ``last_stats``.
+        """
+        workload = as_workload(keys, pair_filter)
+        session = self._one_shot_session(workload)
+        try:
+            handle = session.submit(workload)
+            result = handle.result()
+        finally:
+            session.close()
+        return result
 
 
 _FACTORIES: Dict[str, Callable[..., RocketBackend]] = {}

@@ -35,11 +35,25 @@ payloads inline through per-node ``multiprocessing`` queues, the
 segments and ships only small descriptors.  The default ``fork`` start
 method shares the application/store objects with the children at no
 cost; with ``spawn`` they must be picklable.
+
+The runtime is **session-oriented**: worker processes are spawned once
+per :class:`ClusterSession` and then serve a *sequence of jobs*.  Each
+job is dispatched over the transport as a ``("job", job_id, keys,
+pair_filter, blocks)`` message; the node runs it on a fresh
+:class:`~repro.runtime.pernode.NodePipeline` borrowed from its
+persistent :class:`~repro.runtime.pernode.NodeEngine`, so device and
+host cache contents — and the processes, kernel threads and transport
+fabric themselves — survive between jobs.  A second job over
+overlapping keys therefore starts against warm caches instead of
+re-spawning the world.  ``ClusterRocketRuntime.run()`` is the one-shot
+compatibility path: open a session, submit one workload, close.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import queue
 import threading
 import time
 import traceback
@@ -50,12 +64,13 @@ import numpy as np
 
 from repro.cache.distributed import CandidateDirectory, HopStats, mediator_of
 from repro.core.api import Application
-from repro.core.result import ResultMatrix
+from repro.core.session import RunHandle, RunState
+from repro.core.workload import Workload
 from repro.data.filestore import FileStore
 from repro.model.perfmodel import StageCalibration
-from repro.runtime.backend import RocketBackend
-from repro.runtime.localrocket import RocketConfig, count_pairs
-from repro.runtime.pernode import NodePipeline, NodeStats
+from repro.runtime.backend import BackendSession, RocketBackend
+from repro.runtime.localrocket import RocketConfig
+from repro.runtime.pernode import NodeEngine, NodePipeline, NodeStats
 from repro.runtime.transport import (
     QueueTransport,
     ResultBatcher,
@@ -64,7 +79,7 @@ from repro.runtime.transport import (
     available_transports,
     create_fabric,
 )
-from repro.scheduling.quadtree import PairBlock, partition_pairs
+from repro.scheduling.quadtree import PairBlock, partition_blocks
 from repro.scheduling.workstealing import StealPolicy, VictimSelector, WorkerTopology
 from repro.util.rng import RngFactory
 from repro.util.trace import TraceRecorder
@@ -73,6 +88,7 @@ __all__ = [
     "ClusterConfig",
     "ClusterRunStats",
     "ClusterRocketRuntime",
+    "ClusterSession",
     "NodeCommServer",
     "QueueTransport",
     "NodeReport",
@@ -164,6 +180,8 @@ _KIND_OF = {
     "stats": "control",
     "error": "control",
     "stop": "control",
+    "job": "control",
+    "shutdown": "control",
 }
 
 
@@ -264,6 +282,13 @@ class NodeCommServer:
     :class:`~repro.runtime.transport.Transport`, so the same protocol
     code runs over inline queues or shared-memory descriptors — and is
     unit-testable over a synchronous in-process transport.
+
+    The server outlives any single job: :meth:`begin_job` /
+    :meth:`end_job` frame one workload's execution, resetting the
+    job-scoped protocol state (mediator directory, hop/byte/message
+    accounting, result batcher) while the process, transport endpoint
+    and the engine's caches persist.  ``("stop", job_id, abort)`` ends
+    one job; ``("shutdown",)`` ends the process.
     """
 
     def __init__(
@@ -289,6 +314,17 @@ class NodeCommServer:
         self._pending: Dict[int, _Pending] = {}
         self._pending_lock = threading.Lock()
         self._next_id = 0
+        #: Requests registered before this id belong to earlier jobs; a
+        #: late steal grant below the floor is dropped, not injected.
+        self._req_floor = 0
+        #: Current job id; -1 = "no job framing" (protocol unit tests),
+        #: in which case stop messages apply unconditionally.
+        self.job_id = -1
+        #: Stop notices that arrived before their job was begun (the
+        #: coordinator may abort a job while a node is still picking it
+        #: up); ``begin_job`` consults this map.  job_id -> abort flag.
+        self._early_stops: Dict[int, bool] = {}
+        self._jobs: "queue.Queue[Optional[Tuple]]" = queue.Queue()
         self._stop_received = threading.Event()
         self._shutdown = threading.Event()
         self.batcher = ResultBatcher(
@@ -309,16 +345,56 @@ class NodeCommServer:
         """True once a coordinator stop message was processed."""
         return self._stop_received.is_set()
 
+    def next_job(self) -> Optional[Tuple]:
+        """Block for the next job spec; None once shutdown was received."""
+        return self._jobs.get()
+
+    def begin_job(self, job_id: int, keys: Sequence[Hashable]) -> None:
+        """Reset the job-scoped protocol state for ``job_id``.
+
+        Called on the node main thread before the job's pipeline is
+        attached.  If the coordinator already stopped this job (an
+        abort raced the job hand-out), the stop state is re-applied so
+        the caller can skip straight to the shutdown handshake.
+        """
+        with self._stats_lock:
+            self.keys = list(keys)
+            self.directory = CandidateDirectory(self.cluster.max_hops)
+            self.hops = HopStats(self.cluster.max_hops)
+            self.bytes_shipped = self.bytes_received = 0
+            self.messages = 0
+            self.message_kinds = {k: 0 for k in MESSAGE_KINDS}
+        self.remote_abort = False
+        self.batcher = ResultBatcher(
+            self._send_coordinator,
+            self.node_id,
+            self.cluster.result_batch,
+            max_delay=self.cluster.poll_interval,
+        )
+        with self._pending_lock:
+            self._req_floor = self._next_id
+            self.job_id = job_id
+            early = self._early_stops.pop(job_id, None)
+        self._stop_received.clear()
+        if early is not None:
+            self._apply_stop(bool(early))
+
+    def end_job(self) -> None:
+        """Detach the finished job's pipeline (the engine stays warm)."""
+        self.pipeline = None
+        self._stop_received.set()
+
     def serve(self) -> None:
         """Inbox loop (comm thread body); runs until :meth:`finish`.
 
         Each tick also pushes out aged partial result batches, so the
         coordinator's completion count trails the pipeline by at most
-        one poll interval.  After a stop message the loop keeps
+        one poll interval.  After a job's stop message the loop keeps
         *draining* the inbox — discarding late probes and replies, but
         still releasing shared-memory slots — so that peer processes
-        never block on a full pipe or leak pool space while shutting
-        down.
+        never block on a full pipe or leak pool space while a job winds
+        down.  Job hand-outs and the session shutdown are processed in
+        every state.
         """
         while not self._shutdown.is_set():
             msg = self.transport.recv(self.cluster.poll_interval)
@@ -326,7 +402,7 @@ class NodeCommServer:
                 self.batcher.maybe_flush()
             if msg is None:
                 continue
-            if self._stop_received.is_set():
+            if self._stop_received.is_set() and msg[0] not in ("job", "shutdown", "stop"):
                 if msg[0] in ("crep", "pfree"):
                     try:
                         self._reclaim_late(msg)
@@ -419,7 +495,7 @@ class NodeCommServer:
         if self._stop_received.is_set():
             return None
         pend = self._register("steal")
-        self._send_coordinator(("sreq", self.node_id, pend.req_id))
+        self._send_coordinator(("sreq", self.node_id, pend.req_id, self.job_id))
         if not pend.event.wait(self.cluster.steal_timeout):
             self._pop_pending(pend.req_id)
             return None
@@ -433,6 +509,11 @@ class NodeCommServer:
         if kind == "creq":
             # Mediator step: return current candidates, record requester.
             _, requester, idx, req_id = msg
+            if not 0 <= idx < len(self.keys):
+                # A request that limped across a job boundary: the index
+                # space changed, so it can only be answered with a miss.
+                self._send_node(requester, ("crep", req_id, None, -1, -1))
+                return
             candidates = [
                 c for c in self.directory.lookup_and_record(idx, requester) if c != requester
             ]
@@ -448,7 +529,7 @@ class NodeCommServer:
             _, requester, idx, req_id, rest, hop = msg
             payload = (
                 self.pipeline.host_payload_view(self.keys[idx])
-                if self.pipeline is not None
+                if self.pipeline is not None and 0 <= idx < len(self.keys)
                 else None
             )
             if payload is not None:
@@ -492,21 +573,43 @@ class NodeCommServer:
             pend = self._pop_pending(req_id)
             if pend is not None:
                 pend.resolve(block)
-            elif block is not None and self.pipeline is not None:
+            elif (
+                block is not None
+                and self.pipeline is not None
+                and req_id > self._req_floor
+            ):
                 # The thief timed out waiting; never lose a stolen block.
+                # (A grant from *before* the request floor belongs to an
+                # earlier job's index space and must not be injected.)
                 self.pipeline.inject_block(block)
         elif kind == "stop":
-            _, abort = msg
-            self.remote_abort = bool(abort)
-            self._stop_received.set()
-            with self._pending_lock:
-                pending, self._pending = list(self._pending.values()), {}
-            for pend in pending:
-                pend.resolve(None)
-            if self.pipeline is not None:
-                self.pipeline.request_stop(abort=bool(abort))
+            _, job_id, abort = msg
+            if job_id == self.job_id:
+                self._apply_stop(bool(abort))
+            elif job_id > self.job_id:
+                # The job this stop targets has not been begun yet (the
+                # coordinator aborted it while the hand-out was still in
+                # flight); remember it for begin_job.  Job ids only
+                # grow, so a *smaller* id is a stale stop — dropped.
+                self._early_stops[job_id] = bool(abort)
+        elif kind == "job":
+            _, job_id, keys, pair_filter, blocks = msg
+            self._jobs.put((job_id, keys, pair_filter, blocks))
+        elif kind == "shutdown":
+            self._jobs.put(None)
         else:
             raise ValueError(f"unknown cluster message {kind!r}")
+
+    def _apply_stop(self, abort: bool) -> None:
+        """End the current job: wake blocked clients, stop the pipeline."""
+        self.remote_abort = abort
+        self._stop_received.set()
+        with self._pending_lock:
+            pending, self._pending = list(self._pending.values()), {}
+        for pend in pending:
+            pend.resolve(None)
+        if self.pipeline is not None:
+            self.pipeline.request_stop(abort=abort)
 
     def report(self, stats: NodeStats) -> NodeReport:
         """Bundle the node's pipeline and protocol stats for shipping."""
@@ -540,49 +643,70 @@ def _node_main(
     store: FileStore,
     config: RocketConfig,
     cluster: ClusterConfig,
-    keys: List[Hashable],
-    pair_filter,
     fabric: TransportFabric,
-    initial_blocks: List[PairBlock],
 ) -> None:
-    """Entry point of one worker process (one simulated cluster node)."""
+    """Entry point of one worker process (one simulated cluster node).
+
+    Serves a *sequence* of jobs against one persistent
+    :class:`~repro.runtime.pernode.NodeEngine`: each ``("job", ...)``
+    message runs on a fresh pipeline borrowing the engine's devices and
+    caches, so later jobs see the payloads earlier jobs loaded.  The
+    process exits on ``("shutdown",)``.
+    """
     transport = fabric.endpoint(node_id)
     try:
-        comm = NodeCommServer(node_id, keys, cluster, transport)
-        multi = cluster.n_nodes > 1
-        pipeline = NodePipeline(
-            app,
-            store,
+        comm = NodeCommServer(node_id, [], cluster, transport)
+        engine = NodeEngine(
             config,
-            keys,
-            pair_filter=pair_filter,
-            emit_result=comm.emit_result,
             node_id=node_id,
             device_prefix=f"n{node_id}.gpu",
             rngs=RngFactory(config.seed + 7919 * (node_id + 1)),
-            trace=TraceRecorder(enabled=False),
-            expected_pairs=None,  # the coordinator decides when the run ends
-            remote_fetch=comm.remote_fetch if (multi and cluster.distributed_cache) else None,
-            global_steal=comm.global_steal if multi else None,
-            initial_blocks=initial_blocks,
         )
-        comm.attach(pipeline)
+        multi = cluster.n_nodes > 1
         comm_thread = threading.Thread(target=comm.serve, name=f"comm{node_id}", daemon=True)
         comm_thread.start()
-        pipeline.start()
-        # Slightly above the coordinator's watchdog so the coordinator
-        # reports the timeout first with full progress information.
-        finished = pipeline.wait(config.watchdog_seconds + 30.0)
-        comm.flush_results()
-        if pipeline.errors and not comm.remote_abort:
-            comm._send_coordinator(
-                ("error", node_id, _format_error(pipeline.errors[0]))
+        while True:
+            job = comm.next_job()
+            if job is None:
+                break
+            job_id, keys, pair_filter, initial_blocks = job
+            comm.begin_job(job_id, keys)
+            pipeline = NodePipeline(
+                app,
+                store,
+                config,
+                keys,
+                pair_filter=pair_filter,
+                emit_result=comm.emit_result,
+                node_id=node_id,
+                rngs=RngFactory(config.seed + 7919 * (node_id + 1)),
+                trace=TraceRecorder(enabled=False),
+                expected_pairs=None,  # the coordinator decides when the run ends
+                remote_fetch=comm.remote_fetch if (multi and cluster.distributed_cache) else None,
+                global_steal=comm.global_steal if multi else None,
+                initial_blocks=initial_blocks,
+                engine=engine,
             )
-        elif not finished:
-            comm._send_coordinator(("error", node_id, "node watchdog expired"))
-        pipeline.join(timeout=5.0)
-        pipeline.close()
-        comm.ship_stats(pipeline.stats())
+            comm.attach(pipeline)
+            if comm.stopped:
+                # The job was aborted while the hand-out was in flight.
+                pipeline.request_stop(abort=comm.remote_abort)
+            pipeline.start()
+            # Slightly above the coordinator's watchdog so the coordinator
+            # reports the timeout first with full progress information.
+            finished = pipeline.wait(config.watchdog_seconds + 30.0)
+            comm.flush_results()
+            if pipeline.errors and not comm.remote_abort:
+                comm._send_coordinator(
+                    ("error", node_id, _format_error(pipeline.errors[0]))
+                )
+            elif not finished:
+                comm._send_coordinator(("error", node_id, "node watchdog expired"))
+            pipeline.join(timeout=5.0)
+            pipeline.close()  # engine-owned resources stay up
+            comm.ship_stats(pipeline.stats())
+            comm.end_job()
+        engine.close()
         comm.finish()
         comm_thread.join(timeout=2.0)
         transport.close()
@@ -598,7 +722,14 @@ def _node_main(
 
 
 class ClusterRocketRuntime(RocketBackend):
-    """Run an all-pairs application across real OS processes."""
+    """Run an all-pairs application across real OS processes.
+
+    ``run(keys, pair_filter=None)`` (inherited) executes one workload
+    through a one-shot session — spawn, run, tear down, exactly the
+    pre-session behaviour; :meth:`open_session` returns a
+    :class:`ClusterSession` whose worker processes, transport fabric
+    and cache levels persist across many submitted workloads.
+    """
 
     name = "cluster"
 
@@ -638,21 +769,29 @@ class ClusterRocketRuntime(RocketBackend):
             for speeds in self.cluster.node_speed_factors
         ]
 
-    # ------------------------------------------------------------------
+    def open_session(self) -> "ClusterSession":
+        """Spawn the worker processes and return the live session."""
+        return ClusterSession(self)
 
-    def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
-        """Execute the workload on ``cluster.n_nodes`` worker processes.
 
-        The result matrix is identical to the local backend's (the
-        pipeline callbacks are pure); :attr:`last_stats` afterwards
-        holds a :class:`ClusterRunStats`.
-        """
-        cfg, cl = self.config, self.cluster
-        keys = list(keys)
-        self.app.validate_keys(keys)
-        n = len(keys)
-        total_pairs = count_pairs(keys, pair_filter)
+class ClusterSession(BackendSession):
+    """A live multi-process execution context.
 
+    Spawns one worker process per node plus the transport fabric
+    *once*; submitted workloads are then dispatched as jobs over the
+    transport and executed serially by a coordinator thread.  Between
+    jobs the nodes keep their device/host caches (and the processes
+    and kernel threads themselves) warm, so a later job over
+    overlapping keys skips the load pipeline wherever a cache still
+    holds the item.  :meth:`close` ends the node processes and unlinks
+    every shared resource; a node crash marks the whole session dead
+    (submissions then fail fast) but never leaks processes or
+    ``/dev/shm`` segments.
+    """
+
+    def __init__(self, runtime: ClusterRocketRuntime) -> None:
+        self._runtime = runtime
+        cfg, cl = runtime.config, runtime.cluster
         try:
             ctx = multiprocessing.get_context(cl.start_method)
         except ValueError as exc:
@@ -660,32 +799,205 @@ class ClusterRocketRuntime(RocketBackend):
                 f"multiprocessing start method {cl.start_method!r} unavailable "
                 f"on this platform"
             ) from exc
-
-        node_cfgs = self._node_configs()
-        node_speeds = [c.aggregate_speed for c in node_cfgs]
-        speed_aware = cfg.steal_policy is StealPolicy.SPEED
-        if speed_aware and cl.n_nodes > 1:
-            # Speed-proportional initial partitioning: every node starts
-            # with a share of the root tree matching its aggregate speed
-            # instead of node 0 holding everything.
-            shares = partition_pairs(n, node_speeds)
-        else:
-            shares = [[] for _ in range(cl.n_nodes)]
-            shares[0] = [PairBlock.root(n)]
-
-        fabric = create_fabric(cl.transport, ctx, cl)
-        procs = [
+        self._node_cfgs = runtime._node_configs()
+        self._node_speeds = [c.aggregate_speed for c in self._node_cfgs]
+        self._fabric = create_fabric(cl.transport, ctx, cl)
+        self._procs = [
             ctx.Process(
                 target=_node_main,
-                args=(
-                    i, self.app, self.store, node_cfgs[i], cl, keys, pair_filter,
-                    fabric, shares[i],
-                ),
+                args=(i, runtime.app, runtime.store, self._node_cfgs[i], cl, self._fabric),
                 name=f"rocket-node{i}",
                 daemon=True,
             )
             for i in range(cl.n_nodes)
         ]
+        self._pending: "queue.Queue[Optional[RunHandle]]" = queue.Queue()
+        self._handles: List[RunHandle] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._fatal: Optional[str] = None
+        self._next_job_id = 0
+        try:
+            for p in self._procs:
+                p.start()
+            self._thread = threading.Thread(
+                target=self._serve, name="rocket-cluster-session", daemon=True
+            )
+            self._thread.start()
+        except BaseException:
+            # Startup failed (e.g. an unpicklable app under the "spawn"
+            # start method): the session object never reaches the
+            # caller, so close() is unreachable — tear down the already
+            # started processes and the fabric's shared segments here.
+            for p in self._procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=2.0)
+            self._fabric.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+
+    def submit(self, workload: Workload) -> RunHandle:
+        """Queue a workload; returns its handle immediately.
+
+        Validates up front — before anything is dispatched — that the
+        workload's keys and pair filter can be pickled onto the job
+        message: a lambda or closure predicate would otherwise only
+        crash inside a worker process, far from the caller.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self._fatal is not None:
+                raise RuntimeError(f"session is dead: {self._fatal}")
+            self._runtime.app.validate_keys(workload.keys)
+            try:
+                pickle.dumps((workload.keys, workload.pair_filter))
+            except Exception as exc:
+                raise ValueError(
+                    f"workload cannot be shipped to the cluster workers "
+                    f"({exc}); keys and pair filters must be picklable — "
+                    f"define filter predicates at module level, not as "
+                    f"lambdas or closures"
+                ) from None
+            handle = RunHandle(workload)
+            self._handles.append(handle)
+            self._pending.put(handle)
+        return handle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the workers, join the processes, unlink shared state."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+        for handle in handles:
+            handle.cancel()
+        self._pending.put(None)
+        self._thread.join(timeout=60.0)
+        cl = self._runtime.cluster
+        for node in range(cl.n_nodes):
+            try:
+                self._fabric.send_node(node, ("shutdown",))
+            except Exception:
+                pass  # a crashed node's queue may already be broken
+        for p in self._procs:
+            p.join(timeout=5.0)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=2.0)
+        # Tears down queues and unlinks shared segments — runs on every
+        # exit path, so a crashed node cannot leak /dev/shm entries.
+        self._fabric.shutdown()
+
+    # ------------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while True:
+            handle = self._pending.get()
+            if handle is None:
+                return
+            if self._fatal is not None:
+                handle._finish(
+                    RunState.FAILED,
+                    error=RuntimeError(f"cluster session is dead: {self._fatal}"),
+                )
+                continue
+            if handle.cancel_requested:
+                handle._finish(RunState.CANCELLED)
+                continue
+            try:
+                self._run_job(handle)
+            except BaseException as exc:  # noqa: BLE001 - session must survive
+                if not handle.done():
+                    handle._finish(RunState.FAILED, error=exc)
+
+    def _drain_between_jobs(self) -> None:
+        """Discard coordinator-queue stragglers of the finished job.
+
+        After every node shipped its stats nothing else of that job is
+        in flight (per-node sends are FIFO and stats are each node's
+        last message), but messages the coordinator chose not to read —
+        e.g. a steal request that raced the stop broadcast — may still
+        sit in the queue.  They must not leak into the next job's
+        accounting.
+        """
+        while True:
+            msg = self._fabric.recv_coordinator(0.001)
+            if msg is None:
+                return
+
+    def _resync_after_failure(self, reports: Dict[int, "NodeReport"]) -> None:
+        """Re-establish queue silence after a job failed abruptly.
+
+        Result and stats messages carry no job id; the only safe point
+        to start the next job is after every surviving node's final
+        stats report for the failed job has been *observed* (it is each
+        node's last message, so everything before it can be discarded).
+        A node that neither reports nor dies within the resync window
+        leaves the queue state unknowable — the session is marked dead
+        rather than risk feeding one job's results into the next.
+        """
+        cl = self._runtime.cluster
+        deadline = time.perf_counter() + 15.0
+        while len(reports) < cl.n_nodes:
+            missing = {
+                i for i, p in enumerate(self._procs)
+                if i not in reports and p.is_alive()
+            }
+            if not missing:
+                if self._fatal is None:
+                    self._fatal = "a worker process died during a failed job"
+                return
+            if time.perf_counter() > deadline:
+                if self._fatal is None:
+                    self._fatal = (
+                        f"nodes {sorted(missing)} never reported after a failed job"
+                    )
+                return
+            msg = self._fabric.recv_coordinator(cl.poll_interval)
+            if msg is not None and msg[0] == "stats":
+                reports[msg[1]] = msg[2]
+            # Everything else belongs to the dying job: discarded.
+
+    def _run_job(self, handle: RunHandle) -> None:
+        runtime = self._runtime
+        cfg, cl = runtime.config, runtime.cluster
+        fabric = self._fabric
+        workload = handle.workload
+        keys = workload.keys
+        n = len(keys)
+        pair_filter = workload.pair_filter
+        total_pairs = workload.n_pairs
+        job_id = self._next_job_id
+        self._next_job_id += 1
+
+        node_speeds = self._node_speeds
+        speed_aware = cfg.steal_policy is StealPolicy.SPEED
+        blocks = workload.blocks()
+        if speed_aware and cl.n_nodes > 1:
+            # Speed-proportional initial partitioning: every node starts
+            # with a share of the workload's block set matching its
+            # aggregate speed instead of node 0 holding everything.
+            shares = partition_blocks(blocks, node_speeds)
+        else:
+            shares = [[] for _ in range(cl.n_nodes)]
+            shares[0] = blocks
+
+        # Accepted-pair counts per block, computed once and memoized by
+        # block region: the workload seeds the map for its own blocks,
+        # steal-time sub-blocks are swept at most once each.
+        accepted_counts: Dict[Tuple[int, int, int, int], int] = {
+            (b.row_lo, b.row_hi, b.col_lo, b.col_hi): c
+            for b, c in zip(blocks, workload.block_counts())
+        }
 
         def accepted_count(block: PairBlock) -> int:
             """Pairs of ``block`` that survive the filter (all, if none).
@@ -696,9 +1008,13 @@ class ClusterRocketRuntime(RocketBackend):
             """
             if pair_filter is None or not speed_aware:
                 return block.count
-            return sum(1 for i, j in block.pairs() if pair_filter(keys[i], keys[j]))
+            region = (block.row_lo, block.row_hi, block.col_lo, block.col_hi)
+            count = accepted_counts.get(region)
+            if count is None:
+                count = sum(1 for i, j in block.pairs() if pair_filter(keys[i], keys[j]))
+                accepted_counts[region] = count
+            return count
 
-        results = ResultMatrix(keys)
         topology = WorkerTopology.from_gpus_per_node([cfg.n_devices] * cl.n_nodes)
         selector = VictimSelector(topology, RngFactory(cfg.seed).get("cluster:steal"))
         pending_steals: Dict[Tuple[int, int], List[int]] = {}
@@ -713,12 +1029,13 @@ class ClusterRocketRuntime(RocketBackend):
         completed = 0
         remote_steals = 0
         error: Optional[str] = None
+        cancelled = False
         stopped = False
 
         def broadcast_stop(abort: bool) -> None:
             for node in range(cl.n_nodes):
                 try:
-                    fabric.send_node(node, ("stop", abort))
+                    fabric.send_node(node, ("stop", job_id, abort))
                 except Exception:
                     pass  # a crashed node's queue may already be broken
 
@@ -764,7 +1081,7 @@ class ClusterRocketRuntime(RocketBackend):
 
         def record_result(i: int, j: int, value: Any) -> None:
             nonlocal completed, stopped
-            results.set(keys[i], keys[j], value)
+            handle._record(i, j, value)
             completed += 1
             if completed == total_pairs and not stopped:
                 stopped = True
@@ -783,8 +1100,8 @@ class ClusterRocketRuntime(RocketBackend):
                 completed_by[node] += 1
                 record_result(i, j, value)
             elif kind == "sreq":
-                _, thief, req_id = msg
-                if stopped:
+                _, thief, req_id, req_job = msg
+                if stopped or req_job != job_id:
                     grant(thief, req_id, None)
                 else:
                     pending_steals[(thief, req_id)] = victim_order(thief)
@@ -792,6 +1109,8 @@ class ClusterRocketRuntime(RocketBackend):
             elif kind == "srep":
                 _, victim, thief, req_id, block = msg
                 key = (thief, req_id)
+                if stopped and key not in pending_steals:
+                    return  # the job ended while this probe was in flight
                 if block is not None:
                     moved = accepted_count(block)
                     assigned[victim] = max(0, assigned[victim] - moved)
@@ -814,26 +1133,34 @@ class ClusterRocketRuntime(RocketBackend):
 
         start = time.perf_counter()
         deadline = start + cfg.watchdog_seconds
-        for p in procs:
-            p.start()
+        handle._mark_running(cancel_cb=None)  # cancellation is polled
+        for node in range(cl.n_nodes):
+            fabric.send_node(
+                node, ("job", job_id, keys, pair_filter, shares[node])
+            )
         try:
             while True:
-                if error is not None:
-                    break
                 if stopped and len(reports) == cl.n_nodes:
                     break
-                if time.perf_counter() > deadline:
-                    error = (
-                        f"cluster run did not finish within "
-                        f"watchdog_seconds={cfg.watchdog_seconds}; "
-                        f"completed {completed}/{total_pairs} pairs"
-                    )
+                if error is not None and len(reports) == cl.n_nodes:
                     break
+                if handle.cancel_requested and not stopped:
+                    cancelled = True
+                    stopped = True
+                    broadcast_stop(True)
+                if time.perf_counter() > deadline:
+                    if error is None:
+                        error = (
+                            f"cluster run did not finish within "
+                            f"watchdog_seconds={cfg.watchdog_seconds}; "
+                            f"completed {completed}/{total_pairs} pairs"
+                        )
+                    raise RuntimeError(f"cluster run failed: {error}")
                 msg = fabric.recv_coordinator(cl.poll_interval)
                 if msg is None:
                     dead = [
                         (i, p)
-                        for i, p in enumerate(procs)
+                        for i, p in enumerate(self._procs)
                         if not p.is_alive() and i not in reports
                     ]
                     if dead:
@@ -846,46 +1173,52 @@ class ClusterRocketRuntime(RocketBackend):
                             dispatch(late)
                         dead = [
                             (i, p)
-                            for i, p in enumerate(procs)
+                            for i, p in enumerate(self._procs)
                             if not p.is_alive() and i not in reports
                         ]
                         if not dead:
                             continue
-                        if stopped:
+                        if stopped and error is None:
                             # All pairs are in: a node that died after the
                             # stop broadcast only costs its stats report.
                             break
+                        i, p = dead[0]
+                        self._fatal = (
+                            f"node {i} died unexpectedly (exit code {p.exitcode}) "
+                            f"with {completed}/{total_pairs} pairs completed"
+                        )
                         if error is None:
-                            i, p = dead[0]
-                            error = (
-                                f"node {i} died unexpectedly (exit code {p.exitcode}) "
-                                f"with {completed}/{total_pairs} pairs completed"
-                            )
-                        break
+                            error = self._fatal
+                        raise RuntimeError(f"cluster run failed: {error}")
                     continue
                 dispatch(msg)
-        finally:
+        except BaseException as exc:
             if not stopped:
                 broadcast_stop(True)
-            for p in procs:
-                p.join(timeout=5.0)
-            for p in procs:
-                if p.is_alive():
-                    p.terminate()
-                    p.join(timeout=2.0)
-            # Tears down queues and unlinks shared segments — runs on
-            # every exit path, so a crashed node cannot leak /dev/shm
-            # entries.
-            fabric.shutdown()
-        runtime = time.perf_counter() - start
+            self._resync_after_failure(reports)
+            handle._finish(RunState.FAILED, error=exc)
+            return
+        finally:
+            self._drain_between_jobs()
+        runtime_s = time.perf_counter() - start
 
+        if cancelled:
+            handle._finish(RunState.CANCELLED)
+            return
         if error is not None:
-            raise RuntimeError(f"cluster run failed: {error}")
-        if len(results) != total_pairs:
-            raise RuntimeError(
-                f"cluster run ended with {len(results)}/{total_pairs} results — "
-                f"scheduler bug"
+            handle._finish(
+                RunState.FAILED, error=RuntimeError(f"cluster run failed: {error}")
             )
+            return
+        if completed != total_pairs:
+            handle._finish(
+                RunState.FAILED,
+                error=RuntimeError(
+                    f"cluster run ended with {completed}/{total_pairs} results — "
+                    f"scheduler bug"
+                ),
+            )
+            return
 
         hop_stats = HopStats(cl.max_hops)
         node_stats: List[NodeStats] = []
@@ -911,14 +1244,14 @@ class ClusterRocketRuntime(RocketBackend):
         model = calibration.model(
             n_items=n, aggregate_speed=aggregate_speed, cpu_cores=cfg.cpu_workers * cl.n_nodes
         )
-        self.last_stats = ClusterRunStats(
-            runtime=runtime,
+        stats = ClusterRunStats(
+            runtime=runtime_s,
             n_items=n,
             n_pairs=total_pairs,
             n_nodes=cl.n_nodes,
             loads=loads,
             reuse_factor=reuse,
-            throughput=total_pairs / runtime if runtime > 0 else 0.0,
+            throughput=total_pairs / runtime_s if runtime_s > 0 else 0.0,
             node_stats=node_stats,
             hop_stats=hop_stats,
             remote_steals=remote_steals,
@@ -929,6 +1262,7 @@ class ClusterRocketRuntime(RocketBackend):
             aggregate_speed=aggregate_speed,
             calibration=calibration,
             predicted_runtime=model.predicted_runtime(max(1.0, reuse)),
-            model_efficiency=model.efficiency(runtime) if runtime > 0 else 0.0,
+            model_efficiency=model.efficiency(runtime_s) if runtime_s > 0 else 0.0,
         )
-        return results
+        self._runtime.last_stats = stats
+        handle._finish(RunState.DONE, stats=stats)

@@ -12,6 +12,8 @@ global stealing, results written straight into an in-process
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Sequence, Tuple
@@ -19,17 +21,23 @@ from typing import Dict, Hashable, Optional, Sequence, Tuple
 from repro.cache.policy import EvictionPolicy
 from repro.cache.slots import CacheCounters
 from repro.core.api import Application
-from repro.core.result import ResultMatrix
+from repro.core.session import RunHandle, RunState
+from repro.core.workload import Workload
 from repro.data.filestore import FileStore
 from repro.model.perfmodel import StageCalibration
-from repro.runtime.backend import RocketBackend
-from repro.runtime.pernode import NodePipeline
-from repro.scheduling.quadtree import PairBlock
+from repro.runtime.backend import BackendSession, RocketBackend
+from repro.runtime.pernode import NodeEngine, NodePipeline
 from repro.scheduling.workstealing import StealOrder, StealPolicy
 from repro.util.rng import RngFactory
 from repro.util.trace import TraceRecorder
 
-__all__ = ["RocketConfig", "RunStats", "LocalRocketRuntime", "count_pairs"]
+__all__ = [
+    "RocketConfig",
+    "RunStats",
+    "LocalRocketRuntime",
+    "LocalSession",
+    "count_pairs",
+]
 
 
 @dataclass(frozen=True)
@@ -149,7 +157,13 @@ class RunStats:
 
 
 class LocalRocketRuntime(RocketBackend):
-    """Run an :class:`~repro.core.api.Application` all-pairs on one machine."""
+    """Run an :class:`~repro.core.api.Application` all-pairs on one machine.
+
+    ``run(keys, pair_filter=None)`` (inherited) executes one workload
+    through a one-shot session; :meth:`open_session` returns a
+    :class:`LocalSession` that keeps devices, caches and pools warm
+    across many submitted workloads.
+    """
 
     name = "local"
 
@@ -164,45 +178,116 @@ class LocalRocketRuntime(RocketBackend):
         self.config = config
         self.last_stats: Optional[RunStats] = None
 
+    def open_session(self, capacity_hint: Optional[int] = None) -> "LocalSession":
+        """Spin up a live single-node session (engine + dispatcher)."""
+        return LocalSession(self, capacity_hint=capacity_hint)
+
+    def _one_shot_session(self, workload: Workload) -> "LocalSession":
+        # One known workload: bound the engine's cache slots by its
+        # item count instead of allocating the full configured slots.
+        return self.open_session(capacity_hint=workload.n_items)
+
+
+class LocalSession(BackendSession):
+    """A live local-backend execution context.
+
+    Owns one persistent :class:`~repro.runtime.pernode.NodeEngine`
+    (virtual devices, device + host slot caches, thread pools) and a
+    dispatcher thread that executes submitted workloads serially
+    against it.  The caches are key-addressed, so a later job over
+    overlapping keys hits the payloads earlier jobs loaded — warm-cache
+    reuse without any per-job setup cost.
+    """
+
+    def __init__(
+        self, runtime: LocalRocketRuntime, capacity_hint: Optional[int] = None
+    ) -> None:
+        self._runtime = runtime
+        cfg = runtime.config
+        self._engine = NodeEngine(cfg, rngs=RngFactory(cfg.seed), capacity_hint=capacity_hint)
+        self._queue: "queue.Queue[Optional[RunHandle]]" = queue.Queue()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._handles: list = []
+        self._thread = threading.Thread(
+            target=self._serve, name="rocket-local-session", daemon=True
+        )
+        self._thread.start()
+
     # ------------------------------------------------------------------
 
-    def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
-        """Execute the all-pairs comparisons; returns the results.
+    def submit(self, workload: Workload) -> RunHandle:
+        """Queue a workload; returns its handle immediately."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            self._runtime.app.validate_keys(workload.keys)
+            handle = RunHandle(workload)
+            self._handles.append(handle)
+            self._queue.put(handle)
+        return handle
 
-        ``pair_filter`` (optional, a Section 7 extension) is a predicate
-        ``(key_a, key_b) -> bool``; pairs it rejects are skipped without
-        being loaded or compared — the paper's "user-defined heuristics
-        to reduce the number of pairs".  With a filter the result matrix
-        holds only the accepted pairs.
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
-        Statistics of the run are available as :attr:`last_stats`
-        afterwards.
-        """
-        cfg = self.config
-        keys = list(keys)
-        self.app.validate_keys(keys)
-        n = len(keys)
-        total_pairs = count_pairs(keys, pair_filter)
+    def close(self) -> None:
+        """Cancel outstanding jobs and tear the engine down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+        for handle in handles:
+            handle.cancel()
+        self._queue.put(None)
+        self._thread.join(timeout=30.0)
+        self._engine.close()
 
-        results = ResultMatrix(keys)
+    # ------------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while True:
+            handle = self._queue.get()
+            if handle is None:
+                return
+            if handle.cancel_requested:
+                handle._finish(RunState.CANCELLED)
+                continue
+            try:
+                self._execute(handle)
+            except BaseException as exc:  # noqa: BLE001 - session must survive
+                if not handle.done():
+                    handle._finish(RunState.FAILED, error=exc)
+
+    def _execute(self, handle: RunHandle) -> None:
+        cfg = self._runtime.config
+        workload = handle.workload
+        n = workload.n_items
+        total_pairs = workload.n_pairs
+
         pipeline = NodePipeline(
-            self.app,
-            self.store,
+            self._runtime.app,
+            self._runtime.store,
             cfg,
-            keys,
-            pair_filter=pair_filter,
-            emit_result=lambda i, j, v: results.set(keys[i], keys[j], v),
+            workload.keys,
+            pair_filter=workload.pair_filter,
+            emit_result=handle._record,
             rngs=RngFactory(cfg.seed),
             expected_pairs=total_pairs,
-            initial_blocks=[PairBlock.root(n)],
+            initial_blocks=workload.blocks(),
+            engine=self._engine,
         )
+        handle._mark_running(cancel_cb=lambda: pipeline.request_stop(abort=True))
 
         start = time.perf_counter()
         pipeline.start()
         try:
+            error: Optional[BaseException] = None
             finished = pipeline.wait(cfg.watchdog_seconds)
             if not finished:
-                raise RuntimeError(
+                pipeline.request_stop(abort=True)
+                error = RuntimeError(
                     f"run did not finish within watchdog_seconds={cfg.watchdog_seconds}; "
                     f"completed {pipeline.counters['completed']}/{total_pairs} pairs"
                 )
@@ -211,19 +296,26 @@ class LocalRocketRuntime(RocketBackend):
             pipeline.close()
         runtime = time.perf_counter() - start
 
-        if pipeline.errors:
-            raise pipeline.errors[0]
-        if len(results) != total_pairs:
-            raise RuntimeError(
-                f"run ended with {len(results)}/{total_pairs} results — scheduler bug"
+        if handle.cancel_requested:
+            handle._finish(RunState.CANCELLED)
+            return
+        if error is None and pipeline.errors:
+            error = pipeline.errors[0]
+        if error is None and handle.progress()[0] != total_pairs:
+            error = RuntimeError(
+                f"run ended with {handle.progress()[0]}/{total_pairs} results — "
+                f"scheduler bug"
             )
+        if error is not None:
+            handle._finish(RunState.FAILED, error=error)
+            return
 
         ns = pipeline.stats()
         reuse = ns.loads / n
         model = ns.calibration.model(
             n_items=n, aggregate_speed=cfg.aggregate_speed, cpu_cores=cfg.cpu_workers
         )
-        self.last_stats = RunStats(
+        stats = RunStats(
             runtime=runtime,
             n_items=n,
             n_pairs=total_pairs,
@@ -246,4 +338,5 @@ class LocalRocketRuntime(RocketBackend):
             model_efficiency=model.efficiency(runtime) if runtime > 0 else 0.0,
             trace=pipeline.trace if cfg.profiling else None,
         )
-        return results
+        self._runtime.last_stats = stats
+        handle._finish(RunState.DONE, stats=stats)

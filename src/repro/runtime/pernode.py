@@ -33,6 +33,16 @@ What differs between the runtimes is injected as hooks:
 Idle workers block on a condition variable (``work_cond``) that is
 notified whenever tasks are pushed, a job completes, or the run ends —
 there is no sleep-polling loop.
+
+Everything that should *outlive* one run — the virtual devices, both
+cache levels, the thread pools and job admission — lives in a
+:class:`NodeEngine`.  A pipeline either borrows a caller-owned engine
+(how sessions keep caches warm across jobs: the second job's lookups
+hit the payloads the first one loaded) or creates a private one that
+it tears down in :meth:`NodePipeline.close` (the one-shot ``run()``
+path).  Per-run statistics against a shared engine are *deltas*:
+cumulative device/cache counters are snapshotted at pipeline
+construction and subtracted in :meth:`NodePipeline.stats`.
 """
 
 from __future__ import annotations
@@ -62,7 +72,7 @@ from repro.scheduling.workstealing import (
 from repro.util.rng import RngFactory
 from repro.util.trace import TraceRecorder
 
-__all__ = ["NodeStats", "NodePipeline"]
+__all__ = ["NodeEngine", "NodeStats", "NodePipeline"]
 
 #: Backstop timeout for idle-worker condition waits: wake-ups are
 #: notified explicitly, the timeout only guards against lost notifies.
@@ -104,54 +114,46 @@ class _DeviceState:
         self.pairs_done = 0
 
 
-class NodePipeline:
-    """Workers, caches and the load pipeline of one Rocket node.
+class NodeEngine:
+    """The persistent substrate of one Rocket node.
 
-    Lifecycle: construct, :meth:`start`, :meth:`wait` for the done
-    event (set internally when ``expected_pairs`` complete, or
-    externally via :meth:`request_stop`), :meth:`join`, :meth:`close`.
+    Owns everything whose lifetime should span *jobs*, not runs: the
+    virtual devices with their slot caches and admission throttles, the
+    host-level slot cache, and the I/O / CPU-parse / job thread pools.
+    A session creates one engine per node and runs every submitted
+    workload against it, so a later job over overlapping keys finds the
+    earlier job's pre-processed payloads already resident in the device
+    and host caches instead of re-running the load pipeline.
+
+    ``capacity_hint`` bounds the cache slot counts by the data-set size
+    for one-shot runs (no point allocating 256 slots for 10 items);
+    session engines pass ``None`` because future jobs may be larger.
     """
 
     def __init__(
         self,
-        app: Application,
-        store: FileStore,
         config,  # RocketConfig (kept untyped to avoid an import cycle)
-        keys: Sequence[Hashable],
         *,
-        pair_filter: Optional[Callable[[Hashable, Hashable], bool]] = None,
-        emit_result: Callable[[int, int, Any], None],
         node_id: int = 0,
         device_prefix: str = "gpu",
         rngs: Optional[RngFactory] = None,
-        trace: Optional[TraceRecorder] = None,
-        expected_pairs: Optional[int] = None,
-        remote_fetch: Optional[Callable[[int], Optional[np.ndarray]]] = None,
-        global_steal: Optional[Callable[[], Optional[PairBlock]]] = None,
-        initial_blocks: Sequence[PairBlock] = (),
+        capacity_hint: Optional[int] = None,
     ) -> None:
         cfg = config
-        self.app = app
-        self.store = store
         self.config = cfg
-        self.keys = list(keys)
-        self.pair_filter = pair_filter
-        self.emit_result = emit_result
         self.node_id = node_id
-        self.expected_pairs = expected_pairs
-        self.remote_fetch = remote_fetch
-        self.global_steal = global_steal
-
-        n = len(self.keys)
         rngs = rngs if rngs is not None else RngFactory(cfg.seed)
-        self.trace = trace if trace is not None else TraceRecorder(enabled=cfg.profiling)
-        self._t_origin = time.perf_counter()
 
         speeds = cfg.device_speed_factors or (1.0,) * cfg.n_devices
         speed_aware = cfg.steal_policy is StealPolicy.SPEED
-        dev_slots = max(2, min(cfg.device_cache_slots, n))
-        host_slots = max(2, min(cfg.host_cache_slots, n))
+        cap = capacity_hint if capacity_hint is not None else max(
+            cfg.device_cache_slots, cfg.host_cache_slots
+        )
+        dev_slots = max(2, min(cfg.device_cache_slots, cap))
+        host_slots = max(2, min(cfg.host_cache_slots, cap))
         limit = safe_job_limit(cfg.concurrent_jobs, dev_slots, host_slots, cfg.n_devices)
+        self.job_limit = limit
+        self.speeds = speeds
 
         self.states: List[_DeviceState] = []
         for d in range(cfg.n_devices):
@@ -175,6 +177,119 @@ class NodePipeline:
             rng=rngs.get(f"evict:host:n{node_id}"),
         )
         self.host_cond = threading.Condition()
+
+        self.io_pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"io{node_id}")
+        self.cpu_pool = ThreadPoolExecutor(
+            max_workers=cfg.cpu_workers, thread_name_prefix=f"cpu{node_id}"
+        )
+        self.job_pool = ThreadPoolExecutor(
+            max_workers=max(2, limit * cfg.n_devices), thread_name_prefix=f"job{node_id}"
+        )
+        self._closed = False
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Cumulative counter baseline, so a pipeline can report deltas."""
+        def counters_tuple(c: CacheCounters):
+            return (c.hits, c.hits_while_writing, c.misses, c.evictions)
+
+        out: Dict[str, Any] = {
+            "host": counters_tuple(self.host_cache.counters),
+            "devices": [],
+        }
+        for st in self.states:
+            out["devices"].append(
+                (
+                    counters_tuple(st.cache.counters),
+                    st.device.kernel_seconds,
+                    st.device.kernel_count,
+                    st.device.h2d_bytes,
+                    st.device.d2h_bytes,
+                    st.pairs_done,
+                )
+            )
+        return out
+
+    def close(self) -> None:
+        """Tear down pools and devices (idempotent; safe after errors)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.io_pool.shutdown(wait=False)
+        self.cpu_pool.shutdown(wait=False)
+        self.job_pool.shutdown(wait=False)
+        for st in self.states:
+            st.device.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class NodePipeline:
+    """Workers, caches and the load pipeline of one Rocket node.
+
+    Lifecycle: construct, :meth:`start`, :meth:`wait` for the done
+    event (set internally when ``expected_pairs`` complete, or
+    externally via :meth:`request_stop`), :meth:`join`, :meth:`close`.
+
+    With ``engine=`` the pipeline runs one job against a caller-owned
+    :class:`NodeEngine` (session mode: caches stay warm, ``close()``
+    leaves the engine alone); without it a private engine is created
+    and torn down with the pipeline (one-shot mode).
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        store: FileStore,
+        config,  # RocketConfig (kept untyped to avoid an import cycle)
+        keys: Sequence[Hashable],
+        *,
+        pair_filter: Optional[Callable[[Hashable, Hashable], bool]] = None,
+        emit_result: Callable[[int, int, Any], None],
+        node_id: int = 0,
+        device_prefix: str = "gpu",
+        rngs: Optional[RngFactory] = None,
+        trace: Optional[TraceRecorder] = None,
+        expected_pairs: Optional[int] = None,
+        remote_fetch: Optional[Callable[[int], Optional[np.ndarray]]] = None,
+        global_steal: Optional[Callable[[], Optional[PairBlock]]] = None,
+        initial_blocks: Sequence[PairBlock] = (),
+        engine: Optional[NodeEngine] = None,
+    ) -> None:
+        cfg = config
+        self.app = app
+        self.store = store
+        self.config = cfg
+        self.keys = list(keys)
+        self.pair_filter = pair_filter
+        self.emit_result = emit_result
+        self.node_id = node_id
+        self.expected_pairs = expected_pairs
+        self.remote_fetch = remote_fetch
+        self.global_steal = global_steal
+
+        n = len(self.keys)
+        rngs = rngs if rngs is not None else RngFactory(cfg.seed)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=cfg.profiling)
+        self._t_origin = time.perf_counter()
+
+        self._private_engine = engine is None
+        if engine is None:
+            engine = NodeEngine(
+                cfg, node_id=node_id, device_prefix=device_prefix,
+                rngs=rngs, capacity_hint=n,
+            )
+        self.engine = engine
+        self.states = engine.states
+        self.host_cache = engine.host_cache
+        self.host_cond = engine.host_cond
+        self._io_pool = engine.io_pool
+        self._cpu_pool = engine.cpu_pool
+        self._job_pool = engine.job_pool
+        self._baseline = engine.snapshot()
+        speeds = engine.speeds
+        speed_aware = cfg.steal_policy is StealPolicy.SPEED
 
         topology = WorkerTopology.from_gpus_per_node([cfg.n_devices])
         self.deques: List[TaskDeque] = [TaskDeque(d) for d in range(cfg.n_devices)]
@@ -214,14 +329,6 @@ class NodePipeline:
         self.done = threading.Event()
         self.aborted = threading.Event()
         self.errors: List[BaseException] = []
-
-        self._io_pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"io{node_id}")
-        self._cpu_pool = ThreadPoolExecutor(
-            max_workers=cfg.cpu_workers, thread_name_prefix=f"cpu{node_id}"
-        )
-        self._job_pool = ThreadPoolExecutor(
-            max_workers=max(2, limit * cfg.n_devices), thread_name_prefix=f"job{node_id}"
-        )
         self._threads: List[threading.Thread] = []
         self._closed = False
 
@@ -267,20 +374,37 @@ class NodePipeline:
                 st.cond.notify_all()
 
     def join(self, timeout: float = 10.0) -> None:
-        """Join worker threads and drain the job pool (after done)."""
+        """Join worker threads and drain in-flight pair jobs (after done).
+
+        The job pool belongs to the (possibly shared) engine, so the
+        pool itself is never shut down here; instead the pipeline waits
+        until every admitted job has run its completion hook.  A shared
+        engine must be fully quiescent before the next job starts — a
+        straggler would otherwise hold admission tokens and emit into
+        the wrong run.
+        """
         for w in self._threads:
             w.join(timeout=timeout)
-        self._job_pool.shutdown(wait=not self.aborted.is_set())
+        deadline = time.monotonic() + timeout
+        with self.work_cond:
+            while time.monotonic() < deadline:
+                with self.counters_lock:
+                    drained = self.counters["completed"] >= self.counters["submitted"]
+                if drained:
+                    break
+                self.work_cond.wait(timeout=0.05)
 
     def close(self) -> None:
-        """Tear down pools and devices (idempotent; safe after errors)."""
+        """Release the pipeline (idempotent; safe after errors).
+
+        Tears down pools and devices only when this pipeline owns its
+        engine; a session-owned engine stays warm for the next job.
+        """
         if self._closed:
             return
         self._closed = True
-        self._io_pool.shutdown(wait=False)
-        self._cpu_pool.shutdown(wait=False)
-        for st in self.states:
-            st.device.shutdown()
+        if self._private_engine:
+            self.engine.close()
 
     # -- introspection ---------------------------------------------------
 
@@ -288,14 +412,39 @@ class NodePipeline:
         return time.perf_counter() - self._t_origin
 
     def stats(self) -> NodeStats:
-        """Snapshot of the node's counters (call after the run)."""
+        """This run's share of the node's counters (call after the run).
+
+        Cache/device counters accumulate on the engine across jobs; the
+        pipeline reports them relative to the baseline snapshotted at
+        construction, so a session's second job shows *its own* hits —
+        which is exactly where warm-cache reuse becomes measurable.
+        """
+
+        def counters_delta(c: CacheCounters, base) -> CacheCounters:
+            return CacheCounters(
+                hits=c.hits - base[0],
+                hits_while_writing=c.hits_while_writing - base[1],
+                misses=c.misses - base[2],
+                evictions=c.evictions - base[3],
+            )
+
+        base_devices = self._baseline["devices"]
         device_counters = CacheCounters()
-        for st in self.states:
-            c = st.cache.counters
-            device_counters.hits += c.hits
-            device_counters.hits_while_writing += c.hits_while_writing
-            device_counters.misses += c.misses
-            device_counters.evictions += c.evictions
+        kernel_seconds: Dict[str, float] = {}
+        kernel_counts: Dict[str, int] = {}
+        pairs_per_device: Dict[str, int] = {}
+        h2d_bytes = d2h_bytes = 0
+        for st, base in zip(self.states, base_devices):
+            d = counters_delta(st.cache.counters, base[0])
+            device_counters.hits += d.hits
+            device_counters.hits_while_writing += d.hits_while_writing
+            device_counters.misses += d.misses
+            device_counters.evictions += d.evictions
+            kernel_seconds[st.device.name] = st.device.kernel_seconds - base[1]
+            kernel_counts[st.device.name] = st.device.kernel_count - base[2]
+            h2d_bytes += st.device.h2d_bytes - base[3]
+            d2h_bytes += st.device.d2h_bytes - base[4]
+            pairs_per_device[st.device.name] = st.pairs_done - base[5]
         with self.counters_lock:
             counters = dict(self.counters)
             calibration = StageCalibration()
@@ -309,12 +458,12 @@ class NodePipeline:
             submitted=counters["submitted"],
             completed=counters["completed"],
             device_counters=device_counters,
-            host_counters=self.host_cache.counters,
-            kernel_seconds={st.device.name: st.device.kernel_seconds for st in self.states},
-            kernel_counts={st.device.name: st.device.kernel_count for st in self.states},
-            pairs_per_device={st.device.name: st.pairs_done for st in self.states},
-            h2d_bytes=sum(st.device.h2d_bytes for st in self.states),
-            d2h_bytes=sum(st.device.d2h_bytes for st in self.states),
+            host_counters=counters_delta(self.host_cache.counters, self._baseline["host"]),
+            kernel_seconds=kernel_seconds,
+            kernel_counts=kernel_counts,
+            pairs_per_device=pairs_per_device,
+            h2d_bytes=h2d_bytes,
+            d2h_bytes=d2h_bytes,
             aggregate_speed=float(sum(self._speeds)),
             calibration=calibration,
         )
@@ -530,7 +679,11 @@ class NodePipeline:
             t0 = self._now()
             value = self.app.postprocess(keys[i], keys[j], raw_host)
             post_duration = self._now() - t0
-            self.emit_result(i, j, value)
+            # A job that limped past the kernel while the run was being
+            # aborted (cancellation) must not publish its pair: the
+            # consumer of this run's results is already gone.
+            if not self.aborted.is_set():
+                self.emit_result(i, j, value)
             with self.counters_lock:
                 st.pairs_done += 1
                 self.calibration.record_compare(cmp_duration, st.device.speed_factor)

@@ -238,7 +238,7 @@ class TestDistributedCacheProtocol:
         t = threading.Thread(target=lambda: out.append(server.global_steal()))
         t.start()
         # sreq goes to the coordinator log and nobody answers; stop must wake it.
-        server.handle(("stop", False))
+        server.handle(("stop", server.job_id, False))
         t.join(timeout=2.0)
         assert not t.is_alive() and out == [None]
         assert server.pipeline.stopped is False
