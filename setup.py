@@ -25,7 +25,15 @@ setup(
         "scipy",
     ],
     extras_require={
-        "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-cov"],
+        "test": [
+            "pytest",
+            "hypothesis",
+            "pytest-benchmark",
+            "pytest-cov",
+            # CI deadlock guard: a wedged scheduler fails fast instead
+            # of hanging the workflow until the runner-level timeout.
+            "pytest-timeout",
+        ],
     },
     entry_points={
         "console_scripts": [

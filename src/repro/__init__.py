@@ -53,12 +53,15 @@ from repro.core import (
     DeviceBuffer,
     FilteredPairs,
     HostBuffer,
+    JobAccounting,
+    JobScheduler,
     ResultMatrix,
     Rocket,
     RocketConfig,
     RocketSession,
     RunHandle,
     RunState,
+    SchedulingPolicy,
     Workload,
 )
 from repro.runtime import (
@@ -79,6 +82,9 @@ __all__ = [
     "RocketSession",
     "RunHandle",
     "RunState",
+    "SchedulingPolicy",
+    "JobScheduler",
+    "JobAccounting",
     "Workload",
     "AllPairs",
     "FilteredPairs",

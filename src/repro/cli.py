@@ -68,6 +68,20 @@ def build_parser() -> argparse.ArgumentParser:
             "compute only new-vs-old and new-vs-new pairs (incremental "
             "corpus growth)",
         )
+        shape.add_argument(
+            "--jobs-file", metavar="PATH", default=None,
+            help="run several jobs concurrently in one fair-sharing session: "
+            "a JSON list of objects, each {'workload': 'all'|'bipartite'|"
+            "'delta', 'n': N (split size, bipartite/delta only), "
+            "'priority': W, 'max_inflight': M} — priorities are "
+            "fair-share weights over the same synthetic data set",
+        )
+        p.add_argument(
+            "--priority", type=float, default=1.0, metavar="W",
+            help="fair-share weight of the submitted single job; with "
+            "--jobs-file set per-entry 'priority' keys instead (combining "
+            "the two is an error)",
+        )
         if with_backend:
             p.add_argument(
                 "--backend", choices=["local", "cluster"], default="local",
@@ -210,6 +224,67 @@ def _make_workload(keys, bipartite: Optional[int], delta: Optional[int]):
     return AllPairs(keys)
 
 
+def _load_jobs_file(path: str, keys) -> List[dict]:
+    """Parse and validate a ``--jobs-file`` JSON job list."""
+    with open(path, "r", encoding="utf-8") as fh:
+        specs = json.load(fh)
+    if not isinstance(specs, list) or not specs:
+        raise SystemExit(f"--jobs-file {path!r} must hold a non-empty JSON list")
+    jobs = []
+    for idx, spec in enumerate(specs):
+        if not isinstance(spec, dict):
+            raise SystemExit(f"--jobs-file entry {idx} must be a JSON object")
+        shape = spec.get("workload", "all")
+        n = spec.get("n")
+        if shape not in ("all", "bipartite", "delta"):
+            raise SystemExit(
+                f"--jobs-file entry {idx}: unknown workload {shape!r} "
+                f"(expected all / bipartite / delta)"
+            )
+        if shape != "all" and not isinstance(n, int):
+            raise SystemExit(f"--jobs-file entry {idx}: {shape} needs an integer 'n'")
+        try:
+            # Same construction + split-size validation as the
+            # --bipartite/--delta flags.
+            workload = _make_workload(
+                keys,
+                n if shape == "bipartite" else None,
+                n if shape == "delta" else None,
+            )
+        except SystemExit as exc:
+            raise SystemExit(f"--jobs-file entry {idx}: {exc}") from None
+        priority = float(spec.get("priority", 1.0))
+        max_inflight = spec.get("max_inflight")
+        if max_inflight is not None:
+            max_inflight = int(max_inflight)
+        jobs.append(
+            {"workload": workload, "priority": priority, "max_inflight": max_inflight}
+        )
+    return jobs
+
+
+def _run_jobs_file(rocket, path: str, keys, save: Optional[str]) -> int:
+    """Submit every --jobs-file job to one fair-sharing session."""
+    with rocket.session(policy="fair") as session:
+        handles = [
+            session.submit(
+                job["workload"],
+                priority=job["priority"],
+                max_inflight=job["max_inflight"],
+            )
+            for job in _load_jobs_file(path, keys)
+        ]
+        for idx, handle in enumerate(handles):
+            results = handle.result()
+            print(f"job {idx}: {handle.workload.describe()}")
+            print(f"  {handle.accounting.summary()}")
+            if save:
+                target = f"{save}.job{idx}.json"
+                save_results(results, target)
+                print(f"  results written to {target}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.rocket import Rocket
     from repro.data.filestore import InMemoryStore
@@ -243,9 +318,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             result_batch=args.result_batch,
             node_speed_factors=node_speeds,
         )
-    workload = _make_workload(keys, args.bipartite, args.delta)
     rocket = Rocket(app, store, config, backend=backend, **options)
-    results = rocket.run(workload)
+    if getattr(args, "jobs_file", None):
+        if args.priority != 1.0:
+            raise SystemExit(
+                "--priority has no effect with --jobs-file; set per-entry "
+                "'priority' keys in the jobs file instead"
+            )
+        return _run_jobs_file(rocket, args.jobs_file, keys, args.save)
+    workload = _make_workload(keys, args.bipartite, args.delta)
+    if args.priority != 1.0:
+        # A lone job has no competition, so keep the serial FIFO
+        # execution path (wholesale block hand-out); the weight rides
+        # on the handle for scripted callers to inspect.
+        with rocket.session() as session:
+            handle = session.submit(workload, priority=args.priority)
+            results = handle.result()
+    else:
+        results = rocket.run(workload)
     print(workload.describe())
     print(rocket.last_stats.summary())
     sample = list(results.items())[:5]

@@ -22,6 +22,7 @@ from repro.core.api import Application
 from repro.core.buffers import HostBuffer, DeviceBuffer
 from repro.core.result import ResultMatrix
 from repro.core.rocket import Rocket, RocketConfig
+from repro.core.scheduler import JobAccounting, JobScheduler, SchedulingPolicy
 from repro.core.session import RocketSession, RunHandle, RunState
 from repro.core.workload import (
     AllPairs,
@@ -41,6 +42,9 @@ __all__ = [
     "RocketSession",
     "RunHandle",
     "RunState",
+    "SchedulingPolicy",
+    "JobScheduler",
+    "JobAccounting",
     "Workload",
     "AllPairs",
     "FilteredPairs",

@@ -40,8 +40,15 @@ fabric and every cache level warm between jobs.  Open one with
         for key_a, key_b, value in handle.stream():
             ...
 
+Sessions also schedule *concurrent* jobs: ``rocket.session(policy="fair")``
+multiplexes many in-flight submissions over the live backend with
+weighted fair sharing (``submit(workload, priority=8.0)``), so a small
+urgent query does not wait behind a large batch job
+(:mod:`repro.core.scheduler`).
+
 ``run(keys, pair_filter=...)`` remains supported; ``pair_filter`` is
-the deprecated spelling of ``run(FilteredPairs(keys, predicate))``.
+the deprecated spelling of ``run(FilteredPairs(keys, predicate))`` and
+emits a ``DeprecationWarning``.
 
 Heterogeneous platforms (paper Section 6.5): both backends accept
 ``device_speeds=(1.0, 0.25)`` (per-device kernel speed factors) and
@@ -110,21 +117,27 @@ class Rocket:
         ``keys`` is a plain key sequence (the paper's interface: all
         pairs ``i < j``) or any :class:`~repro.core.workload.Workload`.
         ``pair_filter`` optionally restricts a plain key list to
-        accepted pairs — the legacy spelling of
-        :class:`~repro.core.workload.FilteredPairs`, kept for
-        compatibility.
+        accepted pairs — the deprecated spelling of
+        :class:`~repro.core.workload.FilteredPairs`; passing it emits a
+        ``DeprecationWarning``.
         """
         return self._runtime.run(keys, pair_filter=pair_filter)
 
-    def session(self) -> RocketSession:
+    def session(self, policy="fifo", max_active=None) -> RocketSession:
         """Open a long-lived session on this Rocket's backend.
 
         The session accepts many workload submissions
-        (``session.submit(workload) -> RunHandle``) and keeps the
-        backend's worker processes and cache levels warm between them;
-        close it (context manager or ``close()``) to tear them down.
+        (``session.submit(workload, priority=...) -> RunHandle``) and
+        keeps the backend's worker processes and cache levels warm
+        between them; close it (context manager or ``close()``) to tear
+        them down.  ``policy`` selects the job scheduling policy:
+        ``"fifo"`` (default) runs jobs serially in submission order,
+        ``"fair"`` runs up to ``max_active`` jobs concurrently with
+        weighted fair sharing over their pair blocks — a small
+        high-priority job co-scheduled with a large one finishes in
+        roughly its own time instead of queueing behind it.
         """
-        return RocketSession._wrap(self._runtime)
+        return RocketSession._wrap(self._runtime, policy=policy, max_active=max_active)
 
     @property
     def last_stats(self):

@@ -26,8 +26,21 @@ leaving the session usable for the next one.
 
 The session delegates to a backend-specific
 :class:`~repro.runtime.backend.BackendSession` (threaded local engine,
-or the multi-process cluster with its persistent node processes); jobs
-within one session execute serially, in submission order.
+or the multi-process cluster with its persistent node processes).  How
+jobs within one session overlap is a scheduling *policy*
+(:class:`~repro.core.scheduler.SchedulingPolicy`): the default
+``"fifo"`` runs them serially in submission order (the historical
+behaviour), while ``"fair"`` multiplexes many in-flight jobs over the
+live backend with weighted fair sharing — ``submit(workload,
+priority=4.0)`` gives a job four times the device share of a
+``priority=1.0`` one, and a small query co-scheduled with a large job
+finishes in roughly its own time instead of queueing behind the
+giant::
+
+    with RocketSession(app, store, policy="fair") as session:
+        big = session.submit(AllPairs(corpus))
+        urgent = session.submit(Bipartite(queries, corpus), priority=8.0)
+        urgent.result()   # does not wait for `big`
 """
 
 from __future__ import annotations
@@ -46,7 +59,9 @@ __all__ = ["RunState", "RunHandle", "RocketSession"]
 class RunState(enum.Enum):
     """Lifecycle of one submitted job."""
 
-    PENDING = "pending"
+    QUEUED = "queued"
+    #: Deprecated alias of :attr:`QUEUED` (pre-scheduler name).
+    PENDING = "queued"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
@@ -66,21 +81,43 @@ class RunHandle:
     :meth:`result`, :meth:`stream` and :meth:`progress`.
     """
 
-    def __init__(self, workload: Workload) -> None:
+    def __init__(
+        self,
+        workload: Workload,
+        *,
+        priority: float = 1.0,
+        max_inflight: Optional[int] = None,
+    ) -> None:
+        if not priority > 0:
+            raise ValueError(f"priority must be positive, got {priority}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.workload = workload
+        #: Fair-share weight under the FAIR scheduling policy (a job
+        #: with twice the priority receives twice the device share).
+        self.priority = float(priority)
+        #: Cap on this job's concurrently in-flight pair comparisons
+        #: (None — the scheduler's default window).  Enforced per node
+        #: engine: on the cluster backend each of the N nodes admits up
+        #: to this many of the job's pairs.
+        self.max_inflight = max_inflight
         self._keys = workload.keys
         self._matrix: ResultMatrix = workload.make_result()
         self._total = workload.n_pairs
         self._cond = threading.Condition()
         self._pending_stream: Deque[Tuple[Any, Any, Any]] = deque()
         self._streaming = False
-        self._state = RunState.PENDING
+        self._state = RunState.QUEUED
         self._error: Optional[BaseException] = None
         self._cancel_requested = False
         self._cancel_cb: Optional[Callable[[], None]] = None
         #: Backend-specific statistics of the finished job (RunStats /
         #: ClusterRunStats), None until DONE.
         self.stats: Any = None
+        #: Per-job scheduling accounting
+        #: (:class:`~repro.core.scheduler.JobAccounting`), attached by
+        #: the owning session's scheduler at submit time.
+        self.accounting: Any = None
 
     # -- interrogation ---------------------------------------------------
 
@@ -91,6 +128,16 @@ class RunHandle:
     def done(self) -> bool:
         """True once the job reached a terminal state."""
         return self._state in _TERMINAL
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state.
+
+        Returns True once terminal, False if ``timeout`` elapsed first.
+        Unlike :meth:`result` this never raises for failed or cancelled
+        jobs — it only watches the state machine.
+        """
+        with self._cond:
+            return self._cond.wait_for(self.done, timeout=timeout)
 
     def progress(self) -> Tuple[int, int]:
         """``(pairs_done, pairs_total)`` of this job, live."""
@@ -152,11 +199,19 @@ class RunHandle:
     def cancel(self) -> bool:
         """Request cancellation; True if the job was still cancellable.
 
-        A PENDING job is dropped before it starts; a RUNNING job is
-        aborted (in-flight pair jobs drain, their late results are
-        discarded).  The owning session stays usable for subsequent
-        submissions.  ``result()`` raises for cancelled jobs; the
-        pairs already streamed remain valid.
+        A QUEUED job — never handed to the backend — resolves to
+        CANCELLED immediately, inside this call, without the backend
+        session being involved; a RUNNING job is aborted (in-flight
+        pair jobs drain, their late results are discarded).  The owning
+        session stays usable for subsequent submissions.  ``result()``
+        raises for cancelled jobs; the pairs already streamed remain
+        valid.
+
+        Returning True means the request was *accepted*, not that the
+        job will end CANCELLED: a job whose every pair had already
+        completed when the cancel was observed finishes DONE (on every
+        backend) — check :attr:`state` or :meth:`wait` for the actual
+        terminal state.
         """
         with self._cond:
             if self.done():
@@ -172,6 +227,19 @@ class RunHandle:
         return self._cancel_requested
 
     # -- backend-side hooks ---------------------------------------------
+
+    def _set_cancel_cb(self, cb: Optional[Callable[[], None]]) -> None:
+        """Install the current-stage cancel hook (queued or running).
+
+        If a cancel request already landed, the new hook is invoked
+        right away so the request is never lost across the hand-off
+        from the admission queue to the backend.
+        """
+        with self._cond:
+            self._cancel_cb = cb
+            already_cancelled = self._cancel_requested and not self.done()
+        if already_cancelled and cb is not None:
+            cb()
 
     def _mark_running(self, cancel_cb: Optional[Callable[[], None]]) -> None:
         with self._cond:
@@ -230,6 +298,8 @@ class RocketSession:
         store,
         config=None,
         backend: str = "local",
+        policy="fifo",
+        max_active: Optional[int] = None,
         **backend_options,
     ) -> None:
         from repro.runtime.backend import create_backend
@@ -240,14 +310,16 @@ class RocketSession:
             config if config is not None else RocketConfig(),
             **backend_options,
         )
-        self._session = self._backend.open_session()
+        self._session = self._backend.open_session(
+            policy=policy, max_active=max_active
+        )
 
     @classmethod
-    def _wrap(cls, backend) -> "RocketSession":
+    def _wrap(cls, backend, policy="fifo", max_active: Optional[int] = None) -> "RocketSession":
         """Build a session around an existing backend instance."""
         self = cls.__new__(cls)
         self._backend = backend
-        self._session = backend.open_session()
+        self._session = backend.open_session(policy=policy, max_active=max_active)
         return self
 
     # ------------------------------------------------------------------
@@ -257,14 +329,26 @@ class RocketSession:
         """Name of the executing backend."""
         return self._backend.name
 
-    def submit(self, workload) -> RunHandle:
+    def submit(
+        self,
+        workload,
+        *,
+        priority: float = 1.0,
+        max_inflight: Optional[int] = None,
+    ) -> RunHandle:
         """Queue a workload for execution; returns its :class:`RunHandle`.
 
-        Accepts a :class:`~repro.core.workload.Workload` or a plain key
-        sequence (interpreted as :class:`~repro.core.workload.AllPairs`).
-        Jobs run serially in submission order.
+        Non-blocking.  Accepts a :class:`~repro.core.workload.Workload`
+        or a plain key sequence (interpreted as
+        :class:`~repro.core.workload.AllPairs`).  Under the default
+        ``"fifo"`` policy jobs run serially in submission order; under
+        ``"fair"`` they run concurrently and ``priority`` is the job's
+        fair-share weight, with ``max_inflight`` optionally capping its
+        concurrently in-flight pair comparisons.
         """
-        return self._session.submit(as_workload(workload))
+        return self._session.submit(
+            as_workload(workload), priority=priority, max_inflight=max_inflight
+        )
 
     def run(self, workload) -> ResultMatrix:
         """Submit and block for the result (convenience wrapper)."""

@@ -91,6 +91,7 @@ class Workload(ABC, Generic[K]):
 
     def __init__(self) -> None:
         self._block_counts: Optional[List[int]] = None
+        self._grain_cache: Optional[Tuple[int, List[Tuple[PairBlock, int]]]] = None
 
     # -- shape -----------------------------------------------------------
 
@@ -140,6 +141,59 @@ class Workload(ABC, Generic[K]):
                 raise ValueError("pair_filter rejected every pair")
             self._block_counts = counts
         return list(self._block_counts)
+
+    def grain_blocks(self, grain_pairs: int) -> List[Tuple[PairBlock, int]]:
+        """Split the decomposition into hand-out quanta for fair sharing.
+
+        Returns ``(block, accepted_pairs)`` tuples, each block holding
+        at most ``grain_pairs`` raw pairs (or being unsplittable), in
+        depth-first Morton order so consecutively granted quanta keep
+        the cache locality of the divide-and-conquer walk.  Quanta
+        whose pairs are all filter-rejected are dropped — granting them
+        would occupy scheduler bookkeeping without producing work.
+
+        This is the granularity at which the multi-job scheduler
+        interleaves jobs: one quantum is the unit of device time a job
+        is granted per scheduling decision.
+
+        Memoized per grain, and the sweep *seeds* the per-block
+        accepted counts: calling this before :attr:`n_pairs` /
+        :meth:`make_result` means a filtered workload's predicate runs
+        over each pair exactly once for the whole submission, not once
+        per consumer.
+        """
+        if grain_pairs < 1:
+            raise ValueError(f"grain_pairs must be >= 1, got {grain_pairs}")
+        if self._grain_cache is not None and self._grain_cache[0] == grain_pairs:
+            return list(self._grain_cache[1])
+        flt = self.pair_filter
+        keys = self.keys
+        out: List[Tuple[PairBlock, int]] = []
+        top_counts: List[int] = []
+        for top in self.blocks():
+            accepted_total = 0
+            stack = [top]
+            while stack:
+                block = stack.pop()
+                if block.count > grain_pairs and not block.is_leaf():
+                    stack.extend(reversed(block.split()))
+                    continue
+                if flt is None:
+                    accepted = block.count
+                else:
+                    accepted = sum(
+                        1 for i, j in block.pairs() if flt(keys[i], keys[j])
+                    )
+                accepted_total += accepted
+                if accepted:
+                    out.append((block, accepted))
+            top_counts.append(accepted_total)
+        if sum(top_counts) == 0:
+            raise ValueError("pair_filter rejected every pair")
+        if self._block_counts is None:
+            self._block_counts = top_counts
+        self._grain_cache = (grain_pairs, list(out))
+        return out
 
     def pairs(self) -> Iterator[Tuple[K, K]]:
         """Iterate the accepted ``(key_a, key_b)`` pairs, block by block."""

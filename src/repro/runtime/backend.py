@@ -47,15 +47,34 @@ __all__ = [
 class BackendSession(ABC):
     """One live execution context of a backend.
 
-    Jobs submitted to a session run serially, in order, against shared
-    warm state; :meth:`close` tears that state down (cancelling any
-    queued or running job).  Sessions are what
+    The session is a *multi-job* contract: :meth:`submit` is
+    non-blocking and jobs are ordered and overlapped by the session's
+    :class:`~repro.core.scheduler.SchedulingPolicy` — serially under
+    the default FIFO policy, concurrently (weighted fair sharing, with
+    per-job ``priority`` and ``max_inflight``) under FAIR.  Backends
+    therefore execute *tagged* work: the local engine runs one pipeline
+    per active job against shared caches and pools, the cluster
+    protocol tags every steal/grant/result/stats message with its job
+    id, and completion/abort are per job — cancelling one job never
+    disturbs a co-running one.  :meth:`close` tears the shared state
+    down (cancelling any queued or running job).  Sessions are what
     :class:`~repro.core.session.RocketSession` wraps.
     """
 
     @abstractmethod
-    def submit(self, workload: Workload) -> RunHandle:
-        """Queue ``workload``; returns the job's handle immediately."""
+    def submit(
+        self,
+        workload: Workload,
+        *,
+        priority: float = 1.0,
+        max_inflight: Optional[int] = None,
+    ) -> RunHandle:
+        """Queue ``workload``; returns the job's handle immediately.
+
+        ``priority`` is the job's fair-share weight (FAIR policy);
+        ``max_inflight`` caps its concurrently in-flight pair
+        comparisons (None — the scheduler's default window).
+        """
 
     @abstractmethod
     def close(self) -> None:
@@ -90,8 +109,14 @@ class RocketBackend(ABC):
 
     last_stats: Optional[Any] = None
 
-    def open_session(self) -> BackendSession:
-        """Spin up a live session against this backend's configuration."""
+    def open_session(self, *, policy="fifo", max_active: Optional[int] = None) -> BackendSession:
+        """Spin up a live session against this backend's configuration.
+
+        ``policy`` selects the job scheduling policy (``"fifo"`` —
+        serial, submission order; ``"fair"`` — concurrent weighted fair
+        sharing) and ``max_active`` bounds how many jobs run
+        concurrently under FAIR.
+        """
         raise NotImplementedError(f"backend {self.name!r} does not support sessions")
 
     def _one_shot_session(self, workload: Workload) -> BackendSession:
@@ -110,7 +135,20 @@ class RocketBackend(ABC):
         the legacy ``pair_filter`` predicate — or any
         :class:`~repro.core.workload.Workload`.  Statistics land in
         ``last_stats``.
+
+        .. deprecated:: 1.2
+           ``pair_filter=`` — pass
+           :class:`~repro.core.workload.FilteredPairs` instead.
         """
+        if pair_filter is not None:
+            import warnings
+
+            warnings.warn(
+                "run(pair_filter=...) is deprecated; submit a "
+                "FilteredPairs(keys, predicate) workload instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         workload = as_workload(keys, pair_filter)
         session = self._one_shot_session(workload)
         try:

@@ -36,34 +36,45 @@ segments and ships only small descriptors.  The default ``fork`` start
 method shares the application/store objects with the children at no
 cost; with ``spawn`` they must be picklable.
 
-The runtime is **session-oriented**: worker processes are spawned once
-per :class:`ClusterSession` and then serve a *sequence of jobs*.  Each
-job is dispatched over the transport as a ``("job", job_id, keys,
-pair_filter, blocks)`` message; the node runs it on a fresh
-:class:`~repro.runtime.pernode.NodePipeline` borrowed from its
-persistent :class:`~repro.runtime.pernode.NodeEngine`, so device and
-host cache contents — and the processes, kernel threads and transport
-fabric themselves — survive between jobs.  A second job over
-overlapping keys therefore starts against warm caches instead of
-re-spawning the world.  ``ClusterRocketRuntime.run()`` is the one-shot
-compatibility path: open a session, submit one workload, close.
+The runtime is **session-oriented and multi-job**: worker processes
+are spawned once per :class:`ClusterSession` and then serve *many
+concurrently active jobs*.  Each job is dispatched over the transport
+as a ``("job", job_id, keys, pair_filter, blocks, max_inflight)``
+message; the node runs it on its own
+:class:`~repro.runtime.pernode.NodePipeline` borrowed from the
+persistent :class:`~repro.runtime.pernode.NodeEngine`, so several
+jobs' pair streams interleave on the shared devices and caches while
+the processes, kernel threads and transport fabric survive between
+jobs.  Every protocol message — cache requests and replies, steal
+probes and grants, result batches, stats reports — is tagged with its
+job id, so one job's stragglers can never leak into another job's
+accounting, and aborting one job (``("stop", job_id, abort)``) leaves
+co-running jobs untouched.  How many jobs run at once and in which
+order is decided coordinator-side by the
+:class:`~repro.core.scheduler.JobScheduler` (FIFO: serial, the
+historical behaviour; FAIR: priority-ordered concurrent admission).
+``ClusterRocketRuntime.run()`` is the one-shot compatibility path:
+open a session, submit one workload, close.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import pickle
 import queue
 import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.cache.distributed import CandidateDirectory, HopStats, mediator_of
 from repro.core.api import Application
+from repro.core.scheduler import JobScheduler, coerce_policy
 from repro.core.session import RunHandle, RunState
 from repro.core.workload import Workload
 from repro.data.filestore import FileStore
@@ -90,6 +101,7 @@ __all__ = [
     "ClusterRocketRuntime",
     "ClusterSession",
     "NodeCommServer",
+    "NodeJobState",
     "QueueTransport",
     "NodeReport",
     "MESSAGE_KINDS",
@@ -257,9 +269,10 @@ class NodeReport:
 class _Pending:
     """One in-flight request a worker thread is blocked on."""
 
-    def __init__(self, req_id: int, kind: str) -> None:
+    def __init__(self, req_id: int, kind: str, job_id: int) -> None:
         self.req_id = req_id
         self.kind = kind  # "fetch" | "steal"
+        self.job_id = job_id
         self.event = threading.Event()
         self.result: Any = None
 
@@ -268,41 +281,29 @@ class _Pending:
         self.event.set()
 
 
-class NodeCommServer:
-    """One node's endpoint of the distributed-cache and steal protocols.
+class NodeJobState:
+    """One active job's protocol state on a node.
 
-    The message handlers (:meth:`handle`) hold the node's mediator
-    state (:class:`~repro.cache.distributed.CandidateDirectory`) and
-    serve remote requests against the attached pipeline's host cache;
-    :meth:`remote_fetch` / :meth:`global_steal` are the blocking
-    client calls the pipeline's worker threads invoke, and
-    :meth:`emit_result` is the pipeline's result hook (batched through
-    a :class:`~repro.runtime.transport.ResultBatcher`).  Payload
-    packing/unpacking is delegated to the
-    :class:`~repro.runtime.transport.Transport`, so the same protocol
-    code runs over inline queues or shared-memory descriptors — and is
-    unit-testable over a synchronous in-process transport.
-
-    The server outlives any single job: :meth:`begin_job` /
-    :meth:`end_job` frame one workload's execution, resetting the
-    job-scoped protocol state (mediator directory, hop/byte/message
-    accounting, result batcher) while the process, transport endpoint
-    and the engine's caches persist.  ``("stop", job_id, abort)`` ends
-    one job; ``("shutdown",)`` ends the process.
+    Everything that is scoped to a *job* rather than to the node
+    process lives here: the mediator directory and hop statistics of
+    the job's index space, byte/message accounting, the job-tagged
+    result batcher, and the job's pipeline.  The node holds one of
+    these per concurrently active job, so stopping or accounting one
+    job can never touch another's state.
     """
 
     def __init__(
         self,
-        node_id: int,
+        job_id: int,
         keys: Sequence[Hashable],
         cluster: ClusterConfig,
-        transport: Transport,
+        node_id: int,
+        send_coordinator,
+        max_inflight: Optional[int] = None,
     ) -> None:
-        self.node_id = node_id
+        self.job_id = job_id
         self.keys = list(keys)
-        self.cluster = cluster
-        self.transport = transport
-        self.pipeline: Optional[NodePipeline] = None
+        self.max_inflight = max_inflight
         self.directory = CandidateDirectory(cluster.max_hops)
         self.hops = HopStats(cluster.max_hops)
         self.bytes_shipped = 0
@@ -310,129 +311,167 @@ class NodeCommServer:
         self.messages = 0
         self.message_kinds: Dict[str, int] = {k: 0 for k in MESSAGE_KINDS}
         self.remote_abort = False
-        self._stats_lock = threading.Lock()
-        self._pending: Dict[int, _Pending] = {}
-        self._pending_lock = threading.Lock()
-        self._next_id = 0
-        #: Requests registered before this id belong to earlier jobs; a
-        #: late steal grant below the floor is dropped, not injected.
-        self._req_floor = 0
-        #: Current job id; -1 = "no job framing" (protocol unit tests),
-        #: in which case stop messages apply unconditionally.
-        self.job_id = -1
-        #: Stop notices that arrived before their job was begun (the
-        #: coordinator may abort a job while a node is still picking it
-        #: up); ``begin_job`` consults this map.  job_id -> abort flag.
-        self._early_stops: Dict[int, bool] = {}
-        self._jobs: "queue.Queue[Optional[Tuple]]" = queue.Queue()
-        self._stop_received = threading.Event()
-        self._shutdown = threading.Event()
+        self.pipeline: Optional[NodePipeline] = None
+        self.stopped = threading.Event()
         self.batcher = ResultBatcher(
-            self._send_coordinator,
+            send_coordinator,
             node_id,
             cluster.result_batch,
             max_delay=cluster.poll_interval,
+            job_id=job_id,
         )
+
+
+class NodeCommServer:
+    """One node's endpoint of the distributed-cache and steal protocols.
+
+    The message handlers (:meth:`handle`) route every job-tagged
+    message to its :class:`NodeJobState` — the per-job mediator
+    directory, accounting and pipeline — and serve remote requests
+    against that job's host-cache view; :meth:`remote_fetch` /
+    :meth:`global_steal` are the blocking client calls the pipelines'
+    worker threads invoke (bound to their job's state).  Payload
+    packing/unpacking is delegated to the
+    :class:`~repro.runtime.transport.Transport`, so the same protocol
+    code runs over inline queues or shared-memory descriptors — and is
+    unit-testable over a synchronous in-process transport.
+
+    The server outlives every job and serves many at once:
+    :meth:`begin_job` / :meth:`end_job` frame one workload's execution
+    while other jobs keep running; ``("stop", job_id, abort)`` ends
+    exactly one job; ``("shutdown",)`` ends the process.  Messages for
+    unknown or already-ended jobs are answered with a miss (cache and
+    steal probes) or dropped after releasing any out-of-band payload
+    slot they carry — one job's stragglers can neither stall a peer
+    nor leak into another job's accounting.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        cluster: ClusterConfig,
+        transport: Transport,
+    ) -> None:
+        self.node_id = node_id
+        self.cluster = cluster
+        self.transport = transport
+        self._stats_lock = threading.Lock()
+        self._jobs_lock = threading.Lock()
+        self._jobs_state: Dict[int, NodeJobState] = {}
+        #: Recently ended jobs — a stop for one of these is stale.
+        #: Bounded: stale stops only trail a job by the coordinator's
+        #: report window (seconds), so remembering the last few hundred
+        #: ids is ample and a high-churn session cannot grow it forever.
+        #: (Job ids are not monotonic in dispatch order under FAIR
+        #: priority admission, so the old greater-id guard cannot be
+        #: used here.)
+        self._ended_jobs: Set[int] = set()
+        self._ended_order: Deque[int] = deque()
+        self._ended_cap = 1024
+        self._pending: Dict[int, _Pending] = {}
+        self._pending_lock = threading.Lock()
+        self._next_id = 0
+        #: Stop notices that arrived before their job was begun (the
+        #: coordinator may abort a job while a node is still picking it
+        #: up); ``begin_job`` consults this map.  job_id -> abort flag.
+        #: Bounded like ``_ended_jobs``: a stop whose job hand-out never
+        #: arrives (partial dispatch failure) must not leak an entry per
+        #: failure for the session's lifetime.
+        self._early_stops: Dict[int, bool] = {}
+        self._early_stop_order: Deque[int] = deque()
+        self._jobs: "queue.Queue[Optional[Tuple]]" = queue.Queue()
+        self._shutdown = threading.Event()
 
     # -- wiring ----------------------------------------------------------
 
-    def attach(self, pipeline: NodePipeline) -> None:
-        """Bind the pipeline whose host cache and deques this node serves."""
-        self.pipeline = pipeline
+    def _job_state(self, job_id: int) -> Optional[NodeJobState]:
+        with self._jobs_lock:
+            return self._jobs_state.get(job_id)
 
-    @property
-    def stopped(self) -> bool:
-        """True once a coordinator stop message was processed."""
-        return self._stop_received.is_set()
+    def active_jobs(self) -> List[NodeJobState]:
+        with self._jobs_lock:
+            return list(self._jobs_state.values())
 
     def next_job(self) -> Optional[Tuple]:
         """Block for the next job spec; None once shutdown was received."""
         return self._jobs.get()
 
-    def begin_job(self, job_id: int, keys: Sequence[Hashable]) -> None:
-        """Reset the job-scoped protocol state for ``job_id``.
+    def begin_job(
+        self,
+        job_id: int,
+        keys: Sequence[Hashable],
+        max_inflight: Optional[int] = None,
+    ) -> NodeJobState:
+        """Create the protocol state for ``job_id`` and register it.
 
-        Called on the node main thread before the job's pipeline is
+        Called on the job's runner thread before its pipeline is
         attached.  If the coordinator already stopped this job (an
-        abort raced the job hand-out), the stop state is re-applied so
-        the caller can skip straight to the shutdown handshake.
+        abort raced the job hand-out), the stop state is applied
+        immediately so the caller can skip straight to the shutdown
+        handshake.
         """
-        with self._stats_lock:
-            self.keys = list(keys)
-            self.directory = CandidateDirectory(self.cluster.max_hops)
-            self.hops = HopStats(self.cluster.max_hops)
-            self.bytes_shipped = self.bytes_received = 0
-            self.messages = 0
-            self.message_kinds = {k: 0 for k in MESSAGE_KINDS}
-        self.remote_abort = False
-        self.batcher = ResultBatcher(
-            self._send_coordinator,
+        state = NodeJobState(
+            job_id,
+            keys,
+            self.cluster,
             self.node_id,
-            self.cluster.result_batch,
-            max_delay=self.cluster.poll_interval,
+            functools.partial(self._send_coordinator_for, job_id),
+            max_inflight=max_inflight,
         )
-        with self._pending_lock:
-            self._req_floor = self._next_id
-            self.job_id = job_id
+        with self._jobs_lock:
+            self._jobs_state[job_id] = state
             early = self._early_stops.pop(job_id, None)
-        self._stop_received.clear()
         if early is not None:
-            self._apply_stop(bool(early))
+            self._apply_stop(state, bool(early))
+        return state
 
-    def end_job(self) -> None:
-        """Detach the finished job's pipeline (the engine stays warm)."""
-        self.pipeline = None
-        self._stop_received.set()
+    def attach(self, state: NodeJobState, pipeline: NodePipeline) -> None:
+        """Bind the pipeline whose host cache and deques serve this job."""
+        state.pipeline = pipeline
+
+    def end_job(self, state: NodeJobState) -> None:
+        """Retire the finished job's state (the engine stays warm)."""
+        state.stopped.set()
+        with self._jobs_lock:
+            self._jobs_state.pop(state.job_id, None)
+            if state.job_id not in self._ended_jobs:
+                self._ended_jobs.add(state.job_id)
+                self._ended_order.append(state.job_id)
+                while len(self._ended_order) > self._ended_cap:
+                    self._ended_jobs.discard(self._ended_order.popleft())
+        state.pipeline = None
 
     def serve(self) -> None:
         """Inbox loop (comm thread body); runs until :meth:`finish`.
 
-        Each tick also pushes out aged partial result batches, so the
-        coordinator's completion count trails the pipeline by at most
-        one poll interval.  After a job's stop message the loop keeps
-        *draining* the inbox — discarding late probes and replies, but
-        still releasing shared-memory slots — so that peer processes
-        never block on a full pipe or leak pool space while a job winds
-        down.  Job hand-outs and the session shutdown are processed in
-        every state.
+        Each tick also pushes out the active jobs' aged partial result
+        batches, so the coordinator's completion counts trail the
+        pipelines by at most one poll interval.
         """
         while not self._shutdown.is_set():
             msg = self.transport.recv(self.cluster.poll_interval)
-            if not self._stop_received.is_set():
-                self.batcher.maybe_flush()
+            for state in self.active_jobs():
+                if not state.stopped.is_set():
+                    state.batcher.maybe_flush()
             if msg is None:
-                continue
-            if self._stop_received.is_set() and msg[0] not in ("job", "shutdown", "stop"):
-                if msg[0] in ("crep", "pfree"):
-                    try:
-                        self._reclaim_late(msg)
-                    except Exception:
-                        pass
                 continue
             try:
                 self.handle(msg)
             except BaseException:  # noqa: BLE001 - must not kill the comm thread
                 self.transport.send_coordinator(
-                    ("error", self.node_id, traceback.format_exc())
+                    ("error", self.node_id, None, traceback.format_exc())
                 )
 
     def finish(self) -> None:
         """Exit the serve loop (call just before the process exits)."""
         self._shutdown.set()
 
-    def _reclaim_late(self, msg: Tuple) -> None:
-        """Free payload slots carried by messages drained after a stop."""
-        if msg[0] == "pfree":
-            self.transport.handle_free(msg)
-        elif msg[2] is not None:  # late crep: release without copying
-            self.transport.release_payload(msg[2], self.transport.send_node)
-
     # -- client side (called from worker threads) ------------------------
 
-    def _register(self, kind: str) -> _Pending:
+    def _register(self, kind: str, job_id: int) -> _Pending:
         with self._pending_lock:
             self._next_id += 1
-            pend = _Pending(self._next_id, kind)
+            pend = _Pending(self._next_id, kind, job_id)
             self._pending[pend.req_id] = pend
         return pend
 
@@ -440,62 +479,68 @@ class NodeCommServer:
         with self._pending_lock:
             return self._pending.pop(req_id, None)
 
-    def _count_send(self, msg: Tuple) -> None:
+    def _count_send(self, state: Optional[NodeJobState], msg: Tuple) -> None:
+        if state is None:
+            return
         kind = _KIND_OF.get(msg[0], "control")
         with self._stats_lock:
-            self.messages += 1
-            self.message_kinds[kind] += 1
+            state.messages += 1
+            state.message_kinds[kind] += 1
 
-    def _send_node(self, node: int, msg: Tuple) -> None:
-        self._count_send(msg)
+    def _send_node(self, state: Optional[NodeJobState], node: int, msg: Tuple) -> None:
+        self._count_send(state, msg)
         self.transport.send_node(node, msg)
 
-    def _send_coordinator(self, msg: Tuple) -> None:
-        self._count_send(msg)
+    def _send_coordinator(self, state: Optional[NodeJobState], msg: Tuple) -> None:
+        self._count_send(state, msg)
         self.transport.send_coordinator(msg)
 
-    def emit_result(self, i: int, j: int, value: Any) -> None:
-        """Pipeline result hook: batch the pair for the coordinator."""
-        self.batcher.emit(i, j, value)
+    def _send_coordinator_for(self, job_id: int, msg: Tuple) -> None:
+        """Job-id-bound coordinator send (the result batcher's hook)."""
+        self._send_coordinator(self._job_state(job_id), msg)
 
-    def flush_results(self) -> None:
-        """Push out any buffered results (node shutdown)."""
-        self.batcher.flush()
+    def send_job_error(self, state: NodeJobState, text: str) -> None:
+        """Report a job-scoped failure to the coordinator."""
+        self._send_coordinator(state, ("error", self.node_id, state.job_id, text))
 
-    def remote_fetch(self, idx: int) -> Optional[np.ndarray]:
+    def remote_fetch(self, state: NodeJobState, idx: int) -> Optional[np.ndarray]:
         """Third-cache-level request for item ``idx`` (blocking).
 
         Returns the pre-processed payload served by some peer's host
         cache, or ``None`` (recorded as a miss) — the caller then falls
         through to a local load.
         """
-        if self._stop_received.is_set():
+        if state.stopped.is_set():
             return None
         mediator = mediator_of(idx, self.cluster.n_nodes)
-        pend = self._register("fetch")
-        self._send_node(mediator, ("creq", self.node_id, idx, pend.req_id))
+        pend = self._register("fetch", state.job_id)
+        self._send_node(
+            state, mediator, ("creq", state.job_id, self.node_id, idx, pend.req_id)
+        )
         if not pend.event.wait(self.cluster.fetch_timeout):
             self._pop_pending(pend.req_id)
             with self._stats_lock:
-                self.hops.record_miss(had_candidates=True)
+                state.hops.record_miss(had_candidates=True)
             return None
         if pend.result is None:  # woken by stop
             return None
         payload, hop, _provider, wire = pend.result
         with self._stats_lock:
             if payload is None:
-                self.hops.record_miss(had_candidates=(hop != 0))
+                state.hops.record_miss(had_candidates=(hop != 0))
             else:
-                self.hops.record_hit(hop)
-                self.bytes_received += wire
+                state.hops.record_hit(hop)
+                state.bytes_received += wire
         return payload
 
-    def global_steal(self) -> Optional[PairBlock]:
-        """Request one block from a remote node through the coordinator."""
-        if self._stop_received.is_set():
+    def global_steal(self, state: NodeJobState) -> Optional[PairBlock]:
+        """Request one of this job's blocks from a remote node."""
+        if state.stopped.is_set():
             return None
-        pend = self._register("steal")
-        self._send_coordinator(("sreq", self.node_id, pend.req_id, self.job_id))
+        pend = self._register("steal", state.job_id)
+        self._send_coordinator(
+            state, ("sreq", state.job_id, self.node_id, pend.req_id)
+        )
         if not pend.event.wait(self.cluster.steal_timeout):
             self._pop_pending(pend.req_id)
             return None
@@ -506,127 +551,168 @@ class NodeCommServer:
     def handle(self, msg: Tuple) -> None:
         """Process one protocol message (mediator / candidate / reply)."""
         kind = msg[0]
+        if kind == "job":
+            _, job_id, keys, pair_filter, blocks, max_inflight = msg
+            self._jobs.put((job_id, keys, pair_filter, blocks, max_inflight))
+            return
+        if kind == "shutdown":
+            self._jobs.put(None)
+            return
+        if kind == "pfree":
+            # A receiver finished copying a shared-memory payload;
+            # slot bookkeeping is transport-level, not job-level.
+            self.transport.handle_free(msg)
+            return
+        if kind == "stop":
+            _, job_id, abort = msg
+            state = self._job_state(job_id)
+            if state is not None:
+                self._apply_stop(state, bool(abort))
+                return
+            with self._jobs_lock:
+                if job_id not in self._ended_jobs:
+                    # The stop raced the job hand-out: remember it for
+                    # begin_job.
+                    if job_id not in self._early_stops:
+                        self._early_stop_order.append(job_id)
+                        while len(self._early_stop_order) > self._ended_cap:
+                            self._early_stops.pop(
+                                self._early_stop_order.popleft(), None
+                            )
+                    self._early_stops[job_id] = bool(abort)
+            return
+
+        job_id = msg[1]
+        state = self._job_state(job_id)
         if kind == "creq":
             # Mediator step: return current candidates, record requester.
-            _, requester, idx, req_id = msg
-            if not 0 <= idx < len(self.keys):
-                # A request that limped across a job boundary: the index
-                # space changed, so it can only be answered with a miss.
-                self._send_node(requester, ("crep", req_id, None, -1, -1))
+            _, _, requester, idx, req_id = msg
+            if state is None or not 0 <= idx < len(state.keys):
+                # Unknown/ended job (or an index from a different job's
+                # space): answer with a definitive miss so the
+                # requester falls through to a local load instead of
+                # blocking out its fetch timeout.
+                self._send_node(state, requester, ("crep", job_id, req_id, None, -1, -1))
                 return
             candidates = [
-                c for c in self.directory.lookup_and_record(idx, requester) if c != requester
+                c for c in state.directory.lookup_and_record(idx, requester)
+                if c != requester
             ]
             if not candidates:
-                self._send_node(requester, ("crep", req_id, None, 0, -1))
+                self._send_node(state, requester, ("crep", job_id, req_id, None, 0, -1))
             else:
                 self._send_node(
+                    state,
                     candidates[0],
-                    ("cprobe", requester, idx, req_id, tuple(candidates[1:]), 1),
+                    ("cprobe", job_id, requester, idx, req_id, tuple(candidates[1:]), 1),
                 )
         elif kind == "cprobe":
             # Candidate step: serve from the host cache or forward.
-            _, requester, idx, req_id, rest, hop = msg
+            _, _, requester, idx, req_id, rest, hop = msg
             payload = (
-                self.pipeline.host_payload_view(self.keys[idx])
-                if self.pipeline is not None and 0 <= idx < len(self.keys)
+                state.pipeline.host_payload_view(state.keys[idx])
+                if state is not None
+                and state.pipeline is not None
+                and 0 <= idx < len(state.keys)
                 else None
             )
             if payload is not None:
                 packed = self.transport.pack_payload(payload)
                 with self._stats_lock:
-                    self.bytes_shipped += self.transport.wire_bytes(packed)
-                self._send_node(requester, ("crep", req_id, packed, hop, self.node_id))
+                    state.bytes_shipped += self.transport.wire_bytes(packed)
+                self._send_node(
+                    state, requester, ("crep", job_id, req_id, packed, hop, self.node_id)
+                )
             elif rest:
                 self._send_node(
-                    rest[0], ("cprobe", requester, idx, req_id, tuple(rest[1:]), hop + 1)
+                    state,
+                    rest[0],
+                    ("cprobe", job_id, requester, idx, req_id, tuple(rest[1:]), hop + 1),
                 )
             else:
                 # Chain exhausted: the requester must load locally.
-                self._send_node(requester, ("crep", req_id, None, -1, -1))
+                self._send_node(state, requester, ("crep", job_id, req_id, None, -1, -1))
         elif kind == "crep":
-            _, req_id, packed, hop, provider = msg
+            _, _, req_id, packed, hop, provider = msg
             pend = self._pop_pending(req_id)
             if pend is None:
-                # The requester timed out and already fell back to a
-                # local load: release any out-of-band slot without
-                # paying for the payload copy.
+                # The requester timed out (or its job stopped) and
+                # already fell back to a local load: release any
+                # out-of-band slot without paying for the payload copy.
                 if packed is not None:
-                    self.transport.release_payload(packed, self._send_node)
+                    self.transport.release_payload(
+                        packed, functools.partial(self._send_node, state)
+                    )
                 return
             wire = self.transport.wire_bytes(packed) if packed is not None else 0
             payload = (
-                self.transport.unpack_payload(packed, self._send_node)
+                self.transport.unpack_payload(
+                    packed, functools.partial(self._send_node, state)
+                )
                 if packed is not None
                 else None
             )
             pend.resolve((payload, hop, provider, wire))
-        elif kind == "pfree":
-            # A receiver finished copying a shared-memory payload.
-            self.transport.handle_free(msg)
         elif kind == "sprobe":
-            _, thief, req_id = msg
-            block = self.pipeline.steal_for_remote() if self.pipeline is not None else None
-            self._send_coordinator(("srep", self.node_id, thief, req_id, block))
+            _, _, thief, req_id = msg
+            block = (
+                state.pipeline.steal_for_remote()
+                if state is not None and state.pipeline is not None
+                else None
+            )
+            self._send_coordinator(
+                state, ("srep", job_id, self.node_id, thief, req_id, block)
+            )
         elif kind == "sgrant":
-            _, req_id, block = msg
+            _, _, req_id, block = msg
             pend = self._pop_pending(req_id)
             if pend is not None:
                 pend.resolve(block)
             elif (
                 block is not None
-                and self.pipeline is not None
-                and req_id > self._req_floor
+                and state is not None
+                and not state.stopped.is_set()
+                and state.pipeline is not None
             ):
-                # The thief timed out waiting; never lose a stolen block.
-                # (A grant from *before* the request floor belongs to an
-                # earlier job's index space and must not be injected.)
-                self.pipeline.inject_block(block)
-        elif kind == "stop":
-            _, job_id, abort = msg
-            if job_id == self.job_id:
-                self._apply_stop(bool(abort))
-            elif job_id > self.job_id:
-                # The job this stop targets has not been begun yet (the
-                # coordinator aborted it while the hand-out was still in
-                # flight); remember it for begin_job.  Job ids only
-                # grow, so a *smaller* id is a stale stop — dropped.
-                self._early_stops[job_id] = bool(abort)
-        elif kind == "job":
-            _, job_id, keys, pair_filter, blocks = msg
-            self._jobs.put((job_id, keys, pair_filter, blocks))
-        elif kind == "shutdown":
-            self._jobs.put(None)
+                # The thief timed out waiting; never lose a stolen
+                # block.  The job tag guarantees the block belongs to
+                # this job's index space — a grant for an ended job is
+                # dropped instead.
+                state.pipeline.inject_block(block)
         else:
             raise ValueError(f"unknown cluster message {kind!r}")
 
-    def _apply_stop(self, abort: bool) -> None:
-        """End the current job: wake blocked clients, stop the pipeline."""
-        self.remote_abort = abort
-        self._stop_received.set()
+    def _apply_stop(self, state: NodeJobState, abort: bool) -> None:
+        """End one job: wake its blocked clients, stop its pipeline."""
+        state.remote_abort = abort
+        state.stopped.set()
         with self._pending_lock:
-            pending, self._pending = list(self._pending.values()), {}
-        for pend in pending:
+            mine = [p for p in self._pending.values() if p.job_id == state.job_id]
+            for pend in mine:
+                del self._pending[pend.req_id]
+        for pend in mine:
             pend.resolve(None)
-        if self.pipeline is not None:
-            self.pipeline.request_stop(abort=abort)
+        if state.pipeline is not None:
+            state.pipeline.request_stop(abort=abort)
 
-    def report(self, stats: NodeStats) -> NodeReport:
-        """Bundle the node's pipeline and protocol stats for shipping."""
+    def report(self, state: NodeJobState, stats: NodeStats) -> NodeReport:
+        """Bundle one job's pipeline and protocol stats for shipping."""
         with self._stats_lock:
             return NodeReport(
                 stats=stats,
-                hops=self.hops,
-                bytes_shipped=self.bytes_shipped,
-                bytes_received=self.bytes_received,
-                messages=self.messages,
-                message_kinds=dict(self.message_kinds),
+                hops=state.hops,
+                bytes_shipped=state.bytes_shipped,
+                bytes_received=state.bytes_received,
+                messages=state.messages,
+                message_kinds=dict(state.message_kinds),
             )
 
-    def ship_stats(self, stats: NodeStats) -> None:
-        """Send the final stats report (counting the message itself)."""
-        self._count_send(("stats",))
-        self.transport.send_coordinator(("stats", self.node_id, self.report(stats)))
+    def ship_stats(self, state: NodeJobState, stats: NodeStats) -> None:
+        """Send one job's final stats report (counting the message)."""
+        self._count_send(state, ("stats",))
+        self.transport.send_coordinator(
+            ("stats", self.node_id, state.job_id, self.report(state, stats))
+        )
 
 
 # ----------------------------------------------------------------------
@@ -635,6 +721,72 @@ class NodeCommServer:
 
 def _format_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
+
+
+def _run_node_job(
+    comm: NodeCommServer,
+    engine: NodeEngine,
+    app: Application,
+    store: FileStore,
+    config: RocketConfig,
+    cluster: ClusterConfig,
+    job: Tuple,
+) -> None:
+    """Run one job to completion on this node (job-thread body).
+
+    Several of these run concurrently against the shared engine; each
+    owns its job's :class:`NodeJobState` and pipeline, so stopping or
+    failing one job never disturbs a co-running one.
+    """
+    node_id = comm.node_id
+    job_id, keys, pair_filter, initial_blocks, max_inflight = job
+    multi = cluster.n_nodes > 1
+    state = comm.begin_job(job_id, keys, max_inflight=max_inflight)
+    try:
+        pipeline = NodePipeline(
+            app,
+            store,
+            config,
+            keys,
+            pair_filter=pair_filter,
+            emit_result=state.batcher.emit,
+            node_id=node_id,
+            rngs=RngFactory(config.seed + 7919 * (node_id + 1) + 104729 * job_id),
+            trace=TraceRecorder(enabled=False),
+            expected_pairs=None,  # the coordinator decides when the run ends
+            remote_fetch=(
+                functools.partial(comm.remote_fetch, state)
+                if (multi and cluster.distributed_cache)
+                else None
+            ),
+            global_steal=functools.partial(comm.global_steal, state) if multi else None,
+            initial_blocks=initial_blocks,
+            engine=engine,
+            max_inflight=max_inflight,
+        )
+        comm.attach(state, pipeline)
+        if state.stopped.is_set():
+            # The job was aborted while the hand-out was in flight.
+            pipeline.request_stop(abort=state.remote_abort)
+        pipeline.start()
+        # Slightly above the coordinator's watchdog so the coordinator
+        # reports the timeout first with full progress information.
+        finished = pipeline.wait(config.watchdog_seconds + 30.0)
+        state.batcher.flush()
+        if pipeline.errors and not state.remote_abort:
+            comm.send_job_error(state, _format_error(pipeline.errors[0]))
+        elif not finished:
+            comm.send_job_error(state, "node watchdog expired")
+        pipeline.join(timeout=5.0)
+        pipeline.close()  # engine-owned resources stay up
+        comm.ship_stats(state, pipeline.stats())
+    except BaseException:  # noqa: BLE001 - job-scoped last-resort report
+        try:
+            comm.send_job_error(state, traceback.format_exc())
+        except Exception:
+            pass
+    finally:
+        comm.end_job(state)
 
 
 def _node_main(
@@ -647,72 +799,47 @@ def _node_main(
 ) -> None:
     """Entry point of one worker process (one simulated cluster node).
 
-    Serves a *sequence* of jobs against one persistent
+    Serves *concurrently active* jobs against one persistent
     :class:`~repro.runtime.pernode.NodeEngine`: each ``("job", ...)``
-    message runs on a fresh pipeline borrowing the engine's devices and
-    caches, so later jobs see the payloads earlier jobs loaded.  The
-    process exits on ``("shutdown",)``.
+    message spawns a job thread running its own pipeline borrowed from
+    the engine's devices and caches, so co-running and later jobs see
+    the payloads earlier jobs loaded.  The process exits on
+    ``("shutdown",)`` after the in-flight job threads drain.
     """
     transport = fabric.endpoint(node_id)
     try:
-        comm = NodeCommServer(node_id, [], cluster, transport)
+        comm = NodeCommServer(node_id, cluster, transport)
         engine = NodeEngine(
             config,
             node_id=node_id,
             device_prefix=f"n{node_id}.gpu",
             rngs=RngFactory(config.seed + 7919 * (node_id + 1)),
         )
-        multi = cluster.n_nodes > 1
         comm_thread = threading.Thread(target=comm.serve, name=f"comm{node_id}", daemon=True)
         comm_thread.start()
+        job_threads: List[threading.Thread] = []
         while True:
             job = comm.next_job()
             if job is None:
                 break
-            job_id, keys, pair_filter, initial_blocks = job
-            comm.begin_job(job_id, keys)
-            pipeline = NodePipeline(
-                app,
-                store,
-                config,
-                keys,
-                pair_filter=pair_filter,
-                emit_result=comm.emit_result,
-                node_id=node_id,
-                rngs=RngFactory(config.seed + 7919 * (node_id + 1)),
-                trace=TraceRecorder(enabled=False),
-                expected_pairs=None,  # the coordinator decides when the run ends
-                remote_fetch=comm.remote_fetch if (multi and cluster.distributed_cache) else None,
-                global_steal=comm.global_steal if multi else None,
-                initial_blocks=initial_blocks,
-                engine=engine,
+            thread = threading.Thread(
+                target=_run_node_job,
+                args=(comm, engine, app, store, config, cluster, job),
+                name=f"n{node_id}.job{job[0]}",
+                daemon=True,
             )
-            comm.attach(pipeline)
-            if comm.stopped:
-                # The job was aborted while the hand-out was in flight.
-                pipeline.request_stop(abort=comm.remote_abort)
-            pipeline.start()
-            # Slightly above the coordinator's watchdog so the coordinator
-            # reports the timeout first with full progress information.
-            finished = pipeline.wait(config.watchdog_seconds + 30.0)
-            comm.flush_results()
-            if pipeline.errors and not comm.remote_abort:
-                comm._send_coordinator(
-                    ("error", node_id, _format_error(pipeline.errors[0]))
-                )
-            elif not finished:
-                comm._send_coordinator(("error", node_id, "node watchdog expired"))
-            pipeline.join(timeout=5.0)
-            pipeline.close()  # engine-owned resources stay up
-            comm.ship_stats(pipeline.stats())
-            comm.end_job()
+            thread.start()
+            job_threads.append(thread)
+            job_threads = [t for t in job_threads if t.is_alive()]
+        for thread in job_threads:
+            thread.join(timeout=config.watchdog_seconds + 60.0)
         engine.close()
         comm.finish()
         comm_thread.join(timeout=2.0)
         transport.close()
     except BaseException:  # noqa: BLE001 - last-resort report to the coordinator
         try:
-            transport.send_coordinator(("error", node_id, traceback.format_exc()))
+            transport.send_coordinator(("error", node_id, None, traceback.format_exc()))
         except Exception:
             pass
 
@@ -769,27 +896,208 @@ class ClusterRocketRuntime(RocketBackend):
             for speeds in self.cluster.node_speed_factors
         ]
 
-    def open_session(self) -> "ClusterSession":
+    def open_session(
+        self, *, policy="fifo", max_active: Optional[int] = None
+    ) -> "ClusterSession":
         """Spawn the worker processes and return the live session."""
-        return ClusterSession(self)
+        return ClusterSession(self, policy=policy, max_active=max_active)
+
+
+class _ClusterJob:
+    """One active job's coordinator-side state.
+
+    Owns everything the coordinator tracks per job — initial shares,
+    steal bookkeeping, completion counts, per-node reports — so the
+    single serve loop can interleave any number of jobs by routing each
+    job-tagged message here.
+    """
+
+    def __init__(self, session: "ClusterSession", handle: RunHandle) -> None:
+        runtime = session._runtime
+        cfg, cl = runtime.config, runtime.cluster
+        self.session = session
+        self.handle = handle
+        self.job_id: int = handle.accounting.job_id
+        workload = handle.workload
+        self.keys = workload.keys
+        self.pair_filter = workload.pair_filter
+        self.total_pairs = workload.n_pairs
+        self.n_items = workload.n_items
+
+        self.node_speeds = session._node_speeds
+        self.speed_aware = cfg.steal_policy is StealPolicy.SPEED
+        blocks = workload.blocks()
+        if self.speed_aware and cl.n_nodes > 1:
+            # Speed-proportional initial partitioning: every node starts
+            # with a share of the workload's block set matching its
+            # aggregate speed instead of node 0 holding everything.
+            self.shares = partition_blocks(blocks, self.node_speeds)
+        else:
+            self.shares = [[] for _ in range(cl.n_nodes)]
+            self.shares[0] = blocks
+
+        # Accepted-pair counts per block, computed once and memoized by
+        # block region: the workload seeds the map for its own blocks,
+        # steal-time sub-blocks are swept at most once each.
+        self._accepted_counts: Dict[Tuple[int, int, int, int], int] = {
+            (b.row_lo, b.row_hi, b.col_lo, b.col_hi): c
+            for b, c in zip(blocks, workload.block_counts())
+        }
+        self.selector = VictimSelector(
+            session._topology, RngFactory(cfg.seed).get(f"cluster:steal:{self.job_id}")
+        )
+        self.pending_steals: Dict[Tuple[int, int], List[int]] = {}
+        self.reports: Dict[int, NodeReport] = {}
+        # Estimated accepted pairs still owned by each node: the initial
+        # share, plus/minus granted steals, minus streamed results.
+        # Drives remaining-work victim ranking under the SPEED policy.
+        self.assigned = [sum(self.accepted_count(b) for b in s) for s in self.shares]
+        self.completed_by = [0] * cl.n_nodes
+        self.completed = 0
+        self.remote_steals = 0
+        self.error: Optional[str] = None
+        self.cancelled = False
+        self.stopped = False
+        self.started = time.perf_counter()
+        self.deadline = self.started + cfg.watchdog_seconds
+        #: Set when the stop broadcast goes out: the job must collect
+        #: its remaining stats reports before this wall-clock moment or
+        #: the session is marked dead (a node that neither reports nor
+        #: dies leaves the protocol state unknowable).
+        self.report_deadline: Optional[float] = None
+        #: Nodes that died after this job completed cleanly: their
+        #: stats report is forgiven instead of failing the session.
+        self.forgiven_nodes: Set[int] = set()
+
+    # -- bookkeeping helpers ---------------------------------------------
+
+    def accepted_count(self, block: PairBlock) -> int:
+        """Pairs of ``block`` that survive the filter (all, if none).
+
+        The filter sweep only pays off for the SPEED policy's
+        remaining-work estimate; UNIFORM runs never read it, so they
+        get the O(1) raw count.
+        """
+        if self.pair_filter is None or not self.speed_aware:
+            return block.count
+        region = (block.row_lo, block.row_hi, block.col_lo, block.col_hi)
+        count = self._accepted_counts.get(region)
+        if count is None:
+            keys = self.keys
+            count = sum(
+                1 for i, j in block.pairs() if self.pair_filter(keys[i], keys[j])
+            )
+            self._accepted_counts[region] = count
+        return count
+
+    def reports_complete(self) -> bool:
+        n_nodes = self.session._runtime.cluster.n_nodes
+        return all(i in self.reports or i in self.forgiven_nodes for i in range(n_nodes))
+
+    # -- protocol actions ------------------------------------------------
+
+    def broadcast_stop(self, abort: bool) -> None:
+        self.stopped = True
+        if self.report_deadline is None:
+            self.report_deadline = time.perf_counter() + 15.0
+        for node in range(self.session._runtime.cluster.n_nodes):
+            try:
+                self.session._fabric.send_node(node, ("stop", self.job_id, abort))
+            except Exception:
+                pass  # a crashed node's queue may already be broken
+
+    def victim_order(self, thief: int) -> List[int]:
+        """Remote-node probe order for a steal request.
+
+        UNIFORM: the global VictimSelector tier (randomized,
+        locality-aware).  SPEED: the same candidate set re-ranked by
+        estimated remaining work, so the most-backlogged node is
+        probed first instead of a uniformly random one.
+        """
+        cfg = self.session._runtime.config
+        topology = self.session._topology
+        order: List[int] = []
+        for w in self.selector.candidates(thief * cfg.n_devices):
+            node = topology.node_of[w]
+            if node != thief and node not in order:
+                order.append(node)
+        if self.speed_aware:
+            # Remaining *time*, not pairs: a slow node with half the
+            # backlog of a fast one may still be the bigger straggler.
+            order.sort(
+                key=lambda v: (
+                    max(0, self.assigned[v] - self.completed_by[v])
+                    / self.node_speeds[v]
+                ),
+                reverse=True,
+            )
+        return order
+
+    def grant(
+        self, thief: int, req_id: int, block: Optional[PairBlock], count: int = 0
+    ) -> None:
+        try:
+            self.session._fabric.send_node(
+                thief, ("sgrant", self.job_id, req_id, block)
+            )
+        except Exception:
+            if block is not None:
+                raise  # a lost granted block would strand its pairs
+            return
+        if block is not None:
+            self.remote_steals += 1
+            self.assigned[thief] += count
+
+    def advance_steal(self, key: Tuple[int, int]) -> None:
+        thief, req_id = key
+        victims = self.pending_steals[key]
+        if victims:
+            self.session._fabric.send_node(
+                victims.pop(0), ("sprobe", self.job_id, thief, req_id)
+            )
+        else:
+            del self.pending_steals[key]
+            self.grant(thief, req_id, None)
+
+    def record_result(self, i: int, j: int, value: Any) -> None:
+        self.handle._record(i, j, value)
+        self.completed += 1
+        if self.handle.accounting is not None:
+            self.handle.accounting.pairs_completed += 1
+        if self.completed == self.total_pairs and not self.stopped:
+            self.broadcast_stop(False)
+
+    def fail(self, text: str) -> None:
+        if self.error is None:
+            self.error = text
+        if not self.stopped:
+            self.broadcast_stop(True)
 
 
 class ClusterSession(BackendSession):
     """A live multi-process execution context.
 
     Spawns one worker process per node plus the transport fabric
-    *once*; submitted workloads are then dispatched as jobs over the
-    transport and executed serially by a coordinator thread.  Between
+    *once*; submitted workloads are then dispatched as job-tagged
+    protocol exchanges and multiplexed by a single coordinator thread.
+    The :class:`~repro.core.scheduler.JobScheduler` orders admission —
+    serially under the default FIFO policy, concurrently (priority
+    first) under FAIR — and the nodes interleave the active jobs' pair
+    streams on their shared engines, so a small high-priority query
+    no longer waits for a large job to finish.  Between and during
     jobs the nodes keep their device/host caches (and the processes
-    and kernel threads themselves) warm, so a later job over
-    overlapping keys skips the load pipeline wherever a cache still
-    holds the item.  :meth:`close` ends the node processes and unlinks
-    every shared resource; a node crash marks the whole session dead
-    (submissions then fail fast) but never leaks processes or
-    ``/dev/shm`` segments.
+    and kernel threads themselves) warm.  :meth:`close` ends the node
+    processes and unlinks every shared resource; a node crash marks
+    the whole session dead (submissions then fail fast) but never
+    leaks processes or ``/dev/shm`` segments.
     """
 
-    def __init__(self, runtime: ClusterRocketRuntime) -> None:
+    def __init__(
+        self,
+        runtime: ClusterRocketRuntime,
+        policy="fifo",
+        max_active: Optional[int] = None,
+    ) -> None:
         self._runtime = runtime
         cfg, cl = runtime.config, runtime.cluster
         try:
@@ -801,6 +1109,9 @@ class ClusterSession(BackendSession):
             ) from exc
         self._node_cfgs = runtime._node_configs()
         self._node_speeds = [c.aggregate_speed for c in self._node_cfgs]
+        self._topology = WorkerTopology.from_gpus_per_node(
+            [cfg.n_devices] * cl.n_nodes
+        )
         self._fabric = create_fabric(cl.transport, ctx, cl)
         self._procs = [
             ctx.Process(
@@ -811,12 +1122,12 @@ class ClusterSession(BackendSession):
             )
             for i in range(cl.n_nodes)
         ]
-        self._pending: "queue.Queue[Optional[RunHandle]]" = queue.Queue()
-        self._handles: List[RunHandle] = []
+        self.policy = coerce_policy(policy)
+        self._scheduler = JobScheduler(self.policy, max_active=max_active)
+        self._active: Dict[int, _ClusterJob] = {}
         self._lock = threading.Lock()
         self._closed = False
         self._fatal: Optional[str] = None
-        self._next_job_id = 0
         try:
             for p in self._procs:
                 p.start()
@@ -838,8 +1149,14 @@ class ClusterSession(BackendSession):
 
     # ------------------------------------------------------------------
 
-    def submit(self, workload: Workload) -> RunHandle:
-        """Queue a workload; returns its handle immediately.
+    def submit(
+        self,
+        workload: Workload,
+        *,
+        priority: float = 1.0,
+        max_inflight: Optional[int] = None,
+    ) -> RunHandle:
+        """Queue a workload; returns its handle immediately (QUEUED).
 
         Validates up front — before anything is dispatched — that the
         workload's keys and pair filter can be pickled onto the job
@@ -851,19 +1168,31 @@ class ClusterSession(BackendSession):
                 raise RuntimeError("session is closed")
             if self._fatal is not None:
                 raise RuntimeError(f"session is dead: {self._fatal}")
-            self._runtime.app.validate_keys(workload.keys)
-            try:
-                pickle.dumps((workload.keys, workload.pair_filter))
-            except Exception as exc:
-                raise ValueError(
-                    f"workload cannot be shipped to the cluster workers "
-                    f"({exc}); keys and pair filters must be picklable — "
-                    f"define filter predicates at module level, not as "
-                    f"lambdas or closures"
-                ) from None
-            handle = RunHandle(workload)
-            self._handles.append(handle)
-            self._pending.put(handle)
+        # Heavy per-workload work — pickling, the handle's accepted-pair
+        # sweep — runs outside the session lock, so the coordinator loop
+        # (which takes it every iteration) keeps pumping co-running
+        # jobs' messages while a large submission prepares.
+        self._runtime.app.validate_keys(workload.keys)
+        try:
+            pickle.dumps((workload.keys, workload.pair_filter))
+        except Exception as exc:
+            raise ValueError(
+                f"workload cannot be shipped to the cluster workers "
+                f"({exc}); keys and pair filters must be picklable — "
+                f"define filter predicates at module level, not as "
+                f"lambdas or closures"
+            ) from None
+        handle = RunHandle(workload, priority=priority, max_inflight=max_inflight)
+        self._scheduler.submit(handle)
+        with self._lock:
+            if self._closed or self._fatal is not None:
+                # close()/fatal raced the preparation and their drain
+                # missed this handle: resolve it here (the queued-cancel
+                # hook is synchronous) and report the session state.
+                handle.cancel()
+                if self._closed:
+                    raise RuntimeError("session is closed")
+                raise RuntimeError(f"session is dead: {self._fatal}")
         return handle
 
     @property
@@ -876,10 +1205,11 @@ class ClusterSession(BackendSession):
             if self._closed:
                 return
             self._closed = True
-            handles = list(self._handles)
+            handles = self._scheduler.queued_handles() + self._scheduler.active_handles()
         for handle in handles:
+            # Queued handles resolve synchronously through their cancel
+            # hook; active ones abort through the coordinator poll.
             handle.cancel()
-        self._pending.put(None)
         self._thread.join(timeout=60.0)
         cl = self._runtime.cluster
         for node in range(cl.n_nodes):
@@ -900,322 +1230,245 @@ class ClusterSession(BackendSession):
     # ------------------------------------------------------------------
 
     def _serve(self) -> None:
-        while True:
-            handle = self._pending.get()
-            if handle is None:
-                return
-            if self._fatal is not None:
-                handle._finish(
-                    RunState.FAILED,
-                    error=RuntimeError(f"cluster session is dead: {self._fatal}"),
-                )
-                continue
-            if handle.cancel_requested:
-                handle._finish(RunState.CANCELLED)
-                continue
-            try:
-                self._run_job(handle)
-            except BaseException as exc:  # noqa: BLE001 - session must survive
-                if not handle.done():
-                    handle._finish(RunState.FAILED, error=exc)
-
-    def _drain_between_jobs(self) -> None:
-        """Discard coordinator-queue stragglers of the finished job.
-
-        After every node shipped its stats nothing else of that job is
-        in flight (per-node sends are FIFO and stats are each node's
-        last message), but messages the coordinator chose not to read —
-        e.g. a steal request that raced the stop broadcast — may still
-        sit in the queue.  They must not leak into the next job's
-        accounting.
-        """
-        while True:
-            msg = self._fabric.recv_coordinator(0.001)
-            if msg is None:
-                return
-
-    def _resync_after_failure(self, reports: Dict[int, "NodeReport"]) -> None:
-        """Re-establish queue silence after a job failed abruptly.
-
-        Result and stats messages carry no job id; the only safe point
-        to start the next job is after every surviving node's final
-        stats report for the failed job has been *observed* (it is each
-        node's last message, so everything before it can be discarded).
-        A node that neither reports nor dies within the resync window
-        leaves the queue state unknowable — the session is marked dead
-        rather than risk feeding one job's results into the next.
-        """
+        """The coordinator loop: admission, routing, per-job lifecycle."""
         cl = self._runtime.cluster
-        deadline = time.perf_counter() + 15.0
-        while len(reports) < cl.n_nodes:
-            missing = {
-                i for i, p in enumerate(self._procs)
-                if i not in reports and p.is_alive()
-            }
-            if not missing:
-                if self._fatal is None:
-                    self._fatal = "a worker process died during a failed job"
-                return
-            if time.perf_counter() > deadline:
-                if self._fatal is None:
-                    self._fatal = (
-                        f"nodes {sorted(missing)} never reported after a failed job"
-                    )
-                return
-            msg = self._fabric.recv_coordinator(cl.poll_interval)
-            if msg is not None and msg[0] == "stats":
-                reports[msg[1]] = msg[2]
-            # Everything else belongs to the dying job: discarded.
-
-    def _run_job(self, handle: RunHandle) -> None:
-        runtime = self._runtime
-        cfg, cl = runtime.config, runtime.cluster
         fabric = self._fabric
-        workload = handle.workload
-        keys = workload.keys
-        n = len(keys)
-        pair_filter = workload.pair_filter
-        total_pairs = workload.n_pairs
-        job_id = self._next_job_id
-        self._next_job_id += 1
-
-        node_speeds = self._node_speeds
-        speed_aware = cfg.steal_policy is StealPolicy.SPEED
-        blocks = workload.blocks()
-        if speed_aware and cl.n_nodes > 1:
-            # Speed-proportional initial partitioning: every node starts
-            # with a share of the workload's block set matching its
-            # aggregate speed instead of node 0 holding everything.
-            shares = partition_blocks(blocks, node_speeds)
-        else:
-            shares = [[] for _ in range(cl.n_nodes)]
-            shares[0] = blocks
-
-        # Accepted-pair counts per block, computed once and memoized by
-        # block region: the workload seeds the map for its own blocks,
-        # steal-time sub-blocks are swept at most once each.
-        accepted_counts: Dict[Tuple[int, int, int, int], int] = {
-            (b.row_lo, b.row_hi, b.col_lo, b.col_hi): c
-            for b, c in zip(blocks, workload.block_counts())
-        }
-
-        def accepted_count(block: PairBlock) -> int:
-            """Pairs of ``block`` that survive the filter (all, if none).
-
-            The filter sweep only pays off for the SPEED policy's
-            remaining-work estimate; UNIFORM runs never read it, so
-            they get the O(1) raw count.
-            """
-            if pair_filter is None or not speed_aware:
-                return block.count
-            region = (block.row_lo, block.row_hi, block.col_lo, block.col_hi)
-            count = accepted_counts.get(region)
-            if count is None:
-                count = sum(1 for i, j in block.pairs() if pair_filter(keys[i], keys[j]))
-                accepted_counts[region] = count
-            return count
-
-        topology = WorkerTopology.from_gpus_per_node([cfg.n_devices] * cl.n_nodes)
-        selector = VictimSelector(topology, RngFactory(cfg.seed).get("cluster:steal"))
-        pending_steals: Dict[Tuple[int, int], List[int]] = {}
-        reports: Dict[int, NodeReport] = {}
-        # Estimated accepted pairs still owned by each node: the initial
-        # share, plus/minus granted steals, minus streamed results.
-        # Filter-rejected pairs are excluded up front so the estimate
-        # actually drains.  Drives remaining-work victim ranking under
-        # the SPEED policy.
-        assigned = [sum(accepted_count(b) for b in share) for share in shares]
-        completed_by = [0] * cl.n_nodes
-        completed = 0
-        remote_steals = 0
-        error: Optional[str] = None
-        cancelled = False
-        stopped = False
-
-        def broadcast_stop(abort: bool) -> None:
-            for node in range(cl.n_nodes):
+        while True:
+            # 1. Admit queued jobs (policy order) into the active set.
+            if self._fatal is None:
+                for handle in self._scheduler.admit():
+                    try:
+                        self._start_job(handle)
+                    except BaseException as exc:  # noqa: BLE001
+                        self._scheduler.finish(handle)
+                        if not handle.done():
+                            handle._finish(RunState.FAILED, error=exc)
+            # 2. Pump the message queue (bounded burst per tick).
+            msg = fabric.recv_coordinator(cl.poll_interval)
+            saw_message = msg is not None
+            drained = 0
+            while msg is not None:
                 try:
-                    fabric.send_node(node, ("stop", job_id, abort))
-                except Exception:
-                    pass  # a crashed node's queue may already be broken
+                    self._dispatch(msg)
+                except BaseException as exc:  # noqa: BLE001 - must survive
+                    self._mark_fatal(f"coordinator dispatch failed: {exc!r}")
+                    break
+                drained += 1
+                if drained >= 256:
+                    break
+                msg = fabric.recv_coordinator(0.001)
+            # 3. Per-job upkeep: cancellation, watchdog, finalization.
+            now = time.perf_counter()
+            for job in list(self._active.values()):
+                self._poll_job(job, now)
+            # 4. Process-death detection (only on idle ticks, mirroring
+            #    the message-priority rule: in-flight error/stats
+            #    messages beat the generic crash report).
+            if not saw_message and self._fatal is None:
+                self._check_dead_nodes()
+            if self._fatal is not None and self._active:
+                self._fail_active(f"cluster session is dead: {self._fatal}")
+            with self._lock:
+                if self._closed and not self._active and self._scheduler.idle:
+                    return
+                if self._fatal is not None and not self._active:
+                    self._scheduler.fail_all(
+                        lambda: RuntimeError(f"cluster session is dead: {self._fatal}")
+                    )
+                    return
 
-        def victim_order(thief: int) -> List[int]:
-            """Remote-node probe order for a steal request.
-
-            UNIFORM: the global VictimSelector tier (randomized,
-            locality-aware).  SPEED: the same candidate set re-ranked
-            by estimated remaining work, so the most-backlogged node
-            is probed first instead of a uniformly random one.
-            """
-            order: List[int] = []
-            for w in selector.candidates(thief * cfg.n_devices):
-                node = topology.node_of[w]
-                if node != thief and node not in order:
-                    order.append(node)
-            if speed_aware:
-                # Remaining *time*, not pairs: a slow node with half the
-                # backlog of a fast one may still be the bigger straggler.
-                order.sort(
-                    key=lambda v: max(0, assigned[v] - completed_by[v]) / node_speeds[v],
-                    reverse=True,
-                )
-            return order
-
-        def grant(
-            thief: int, req_id: int, block: Optional[PairBlock], count: int = 0
-        ) -> None:
-            nonlocal remote_steals
-            fabric.send_node(thief, ("sgrant", req_id, block))
-            if block is not None:
-                remote_steals += 1
-                assigned[thief] += count
-
-        def advance_steal(key: Tuple[int, int]) -> None:
-            thief, req_id = key
-            victims = pending_steals[key]
-            if victims:
-                fabric.send_node(victims.pop(0), ("sprobe", thief, req_id))
-            else:
-                del pending_steals[key]
-                grant(thief, req_id, None)
-
-        def record_result(i: int, j: int, value: Any) -> None:
-            nonlocal completed, stopped
-            handle._record(i, j, value)
-            completed += 1
-            if completed == total_pairs and not stopped:
-                stopped = True
-                broadcast_stop(False)
-
-        def dispatch(msg: Tuple) -> None:
-            nonlocal error, stopped
-            kind = msg[0]
-            if kind == "results":
-                _, node, block = msg
-                completed_by[node] += len(block)
-                for i, j, value in block:
-                    record_result(i, j, value)
-            elif kind == "result":
-                _, node, i, j, value = msg
-                completed_by[node] += 1
-                record_result(i, j, value)
-            elif kind == "sreq":
-                _, thief, req_id, req_job = msg
-                if stopped or req_job != job_id:
-                    grant(thief, req_id, None)
-                else:
-                    pending_steals[(thief, req_id)] = victim_order(thief)
-                    advance_steal((thief, req_id))
-            elif kind == "srep":
-                _, victim, thief, req_id, block = msg
-                key = (thief, req_id)
-                if stopped and key not in pending_steals:
-                    return  # the job ended while this probe was in flight
-                if block is not None:
-                    moved = accepted_count(block)
-                    assigned[victim] = max(0, assigned[victim] - moved)
-                    pending_steals.pop(key, None)
-                    grant(thief, req_id, block, moved)
-                elif key in pending_steals:
-                    advance_steal(key)
-            elif kind == "error":
-                _, node, text = msg
-                if error is None:
-                    error = f"node {node}: {text}"
-                if not stopped:
-                    stopped = True
-                    broadcast_stop(True)
-            elif kind == "stats":
-                _, node, report = msg
-                reports[node] = report
-            else:
-                raise AssertionError(f"unknown coordinator message {kind!r}")
-
-        start = time.perf_counter()
-        deadline = start + cfg.watchdog_seconds
+    def _start_job(self, handle: RunHandle) -> None:
+        """Dispatch one admitted job's shares to every node."""
+        job = _ClusterJob(self, handle)
+        self._active[job.job_id] = job
+        self._scheduler.mark_fully_granted(handle)
         handle._mark_running(cancel_cb=None)  # cancellation is polled
-        for node in range(cl.n_nodes):
-            fabric.send_node(
-                node, ("job", job_id, keys, pair_filter, shares[node])
-            )
         try:
-            while True:
-                if stopped and len(reports) == cl.n_nodes:
-                    break
-                if error is not None and len(reports) == cl.n_nodes:
-                    break
-                if handle.cancel_requested and not stopped:
-                    cancelled = True
-                    stopped = True
-                    broadcast_stop(True)
-                if time.perf_counter() > deadline:
-                    if error is None:
-                        error = (
-                            f"cluster run did not finish within "
-                            f"watchdog_seconds={cfg.watchdog_seconds}; "
-                            f"completed {completed}/{total_pairs} pairs"
-                        )
-                    raise RuntimeError(f"cluster run failed: {error}")
-                msg = fabric.recv_coordinator(cl.poll_interval)
-                if msg is None:
-                    dead = [
-                        (i, p)
-                        for i, p in enumerate(self._procs)
-                        if not p.is_alive() and i not in reports
-                    ]
-                    if dead:
-                        # Give any in-flight error/stats message priority
-                        # over the generic crash report.
-                        while error is None:
-                            late = fabric.recv_coordinator(0.001)
-                            if late is None:
-                                break
-                            dispatch(late)
-                        dead = [
-                            (i, p)
-                            for i, p in enumerate(self._procs)
-                            if not p.is_alive() and i not in reports
-                        ]
-                        if not dead:
-                            continue
-                        if stopped and error is None:
-                            # All pairs are in: a node that died after the
-                            # stop broadcast only costs its stats report.
-                            break
-                        i, p = dead[0]
-                        self._fatal = (
-                            f"node {i} died unexpectedly (exit code {p.exitcode}) "
-                            f"with {completed}/{total_pairs} pairs completed"
-                        )
-                        if error is None:
-                            error = self._fatal
-                        raise RuntimeError(f"cluster run failed: {error}")
-                    continue
-                dispatch(msg)
-        except BaseException as exc:
-            if not stopped:
-                broadcast_stop(True)
-            self._resync_after_failure(reports)
-            handle._finish(RunState.FAILED, error=exc)
-            return
-        finally:
-            self._drain_between_jobs()
-        runtime_s = time.perf_counter() - start
+            for node in range(self._runtime.cluster.n_nodes):
+                self._fabric.send_node(
+                    node,
+                    (
+                        "job",
+                        job.job_id,
+                        job.keys,
+                        job.pair_filter,
+                        job.shares[node],
+                        handle.max_inflight,
+                    ),
+                )
+        except BaseException:
+            # Partial dispatch: abort whatever did go out, then surface
+            # the submission failure to the caller.
+            job.broadcast_stop(True)
+            del self._active[job.job_id]
+            raise
 
-        if cancelled:
+    def _dispatch(self, msg: Tuple) -> None:
+        """Route one job-tagged coordinator message."""
+        kind = msg[0]
+        if kind == "results":
+            _, node, job_id, block = msg
+            job = self._active.get(job_id)
+            if job is None:
+                return  # stragglers of a finalized job
+            job.completed_by[node] += len(block)
+            for i, j, value in block:
+                job.record_result(i, j, value)
+        elif kind == "sreq":
+            _, job_id, thief, req_id = msg
+            job = self._active.get(job_id)
+            if job is None or job.stopped:
+                try:
+                    self._fabric.send_node(thief, ("sgrant", job_id, req_id, None))
+                except Exception:
+                    pass
+            else:
+                job.pending_steals[(thief, req_id)] = job.victim_order(thief)
+                job.advance_steal((thief, req_id))
+        elif kind == "srep":
+            _, job_id, victim, thief, req_id, block = msg
+            job = self._active.get(job_id)
+            if job is None:
+                return  # the job is gone; its nodes were stopped already
+            key = (thief, req_id)
+            if job.stopped and key not in job.pending_steals:
+                return  # the job ended while this probe was in flight
+            if block is not None:
+                moved = job.accepted_count(block)
+                job.assigned[victim] = max(0, job.assigned[victim] - moved)
+                job.pending_steals.pop(key, None)
+                job.grant(thief, req_id, block, moved)
+            elif key in job.pending_steals:
+                job.advance_steal(key)
+        elif kind == "error":
+            _, node, job_id, text = msg
+            if job_id is None:
+                # Process-level failure: no job framing survives it.
+                self._mark_fatal(f"node {node}: {text}")
+                return
+            job = self._active.get(job_id)
+            if job is not None:
+                job.fail(f"node {node}: {text}")
+        elif kind == "stats":
+            _, node, job_id, report = msg
+            job = self._active.get(job_id)
+            if job is not None:
+                job.reports[node] = report
+        else:
+            raise AssertionError(f"unknown coordinator message {kind!r}")
+
+    def _poll_job(self, job: _ClusterJob, now: float) -> None:
+        """One job's lifecycle tick: cancel, watchdog, finalize."""
+        if job.handle.cancel_requested and not job.stopped:
+            job.cancelled = True
+            job.broadcast_stop(True)
+        if not job.stopped and now > job.deadline:
+            cfg = self._runtime.config
+            job.fail(
+                f"cluster run did not finish within "
+                f"watchdog_seconds={cfg.watchdog_seconds}; "
+                f"completed {job.completed}/{job.total_pairs} pairs"
+            )
+        if job.stopped or job.error is not None:
+            if job.reports_complete():
+                del self._active[job.job_id]
+                self._scheduler.finish(job.handle)
+                try:
+                    self._finalize(job)
+                except BaseException as exc:  # noqa: BLE001
+                    if not job.handle.done():
+                        job.handle._finish(RunState.FAILED, error=exc)
+            elif job.report_deadline is not None and now > job.report_deadline:
+                missing = sorted(
+                    i
+                    for i in range(self._runtime.cluster.n_nodes)
+                    if i not in job.reports and i not in job.forgiven_nodes
+                )
+                self._mark_fatal(
+                    f"nodes {missing} never reported after job {job.job_id} ended"
+                )
+
+    def _check_dead_nodes(self) -> None:
+        """Handle worker-process death: forgive clean jobs, else fatal."""
+        dead = [
+            (i, p) for i, p in enumerate(self._procs) if not p.is_alive()
+        ]
+        if not dead:
+            return
+        # Give any in-flight error/stats messages priority over the
+        # generic crash report.
+        for _ in range(256):
+            late = self._fabric.recv_coordinator(0.001)
+            if late is None:
+                break
+            try:
+                self._dispatch(late)
+            except BaseException:
+                break
+        for i, p in dead:
+            for job in list(self._active.values()):
+                if i in job.reports or i in job.forgiven_nodes:
+                    continue
+                if job.stopped and job.error is None and job.completed == job.total_pairs:
+                    # All pairs are in: a node that died after the stop
+                    # broadcast only costs its stats report.
+                    job.forgiven_nodes.add(i)
+                else:
+                    self._mark_fatal(
+                        f"node {i} died unexpectedly (exit code {p.exitcode}) "
+                        f"with {job.completed}/{job.total_pairs} pairs of "
+                        f"job {job.job_id} completed"
+                    )
+                    return
+        if not self._active and self._fatal is None:
+            # No job was running: the session still cannot execute
+            # future jobs with a node missing.
+            i, p = dead[0]
+            self._mark_fatal(
+                f"node {i} died unexpectedly (exit code {p.exitcode})"
+            )
+
+    def _mark_fatal(self, text: str) -> None:
+        if self._fatal is None:
+            self._fatal = text
+
+    def _fail_active(self, text: str) -> None:
+        """Resolve every active job after the session died."""
+        for job in list(self._active.values()):
+            if not job.stopped:
+                # Best-effort abort so surviving nodes stop burning CPU
+                # on a job whose consumer is gone, instead of running
+                # until their own watchdogs expire.
+                job.broadcast_stop(True)
+            del self._active[job.job_id]
+            self._scheduler.finish(job.handle)
+            if not job.handle.done():
+                job.handle._finish(
+                    RunState.FAILED, error=RuntimeError(text)
+                )
+
+    def _finalize(self, job: _ClusterJob) -> None:
+        """Resolve a job whose nodes all reported (or were forgiven)."""
+        cl = self._runtime.cluster
+        cfg = self._runtime.config
+        handle = job.handle
+        runtime_s = time.perf_counter() - job.started
+
+        if job.cancelled:
             handle._finish(RunState.CANCELLED)
             return
-        if error is not None:
+        if job.error is not None:
             handle._finish(
-                RunState.FAILED, error=RuntimeError(f"cluster run failed: {error}")
+                RunState.FAILED,
+                error=RuntimeError(f"cluster run failed: {job.error}"),
             )
             return
-        if completed != total_pairs:
+        if job.completed != job.total_pairs:
             handle._finish(
                 RunState.FAILED,
                 error=RuntimeError(
-                    f"cluster run ended with {completed}/{total_pairs} results — "
-                    f"scheduler bug"
+                    f"cluster run ended with {job.completed}/{job.total_pairs} "
+                    f"results — scheduler bug"
                 ),
             )
             return
@@ -1225,8 +1478,8 @@ class ClusterSession(BackendSession):
         message_kinds = {k: 0 for k in MESSAGE_KINDS}
         calibration = StageCalibration()
         loads = bytes_over_wire = messages = 0
-        for i in sorted(reports):
-            rep = reports[i]
+        for i in sorted(job.reports):
+            rep = job.reports[i]
             node_stats.append(rep.stats)
             loads += rep.stats.loads
             calibration.merge(rep.stats.calibration)
@@ -1239,22 +1492,24 @@ class ClusterSession(BackendSession):
             for kind, count in rep.message_kinds.items():
                 message_kinds[kind] = message_kinds.get(kind, 0) + count
 
-        aggregate_speed = float(sum(node_speeds))
-        reuse = loads / n
+        aggregate_speed = float(sum(self._node_speeds))
+        reuse = loads / job.n_items
         model = calibration.model(
-            n_items=n, aggregate_speed=aggregate_speed, cpu_cores=cfg.cpu_workers * cl.n_nodes
+            n_items=job.n_items,
+            aggregate_speed=aggregate_speed,
+            cpu_cores=cfg.cpu_workers * cl.n_nodes,
         )
         stats = ClusterRunStats(
             runtime=runtime_s,
-            n_items=n,
-            n_pairs=total_pairs,
+            n_items=job.n_items,
+            n_pairs=job.total_pairs,
             n_nodes=cl.n_nodes,
             loads=loads,
             reuse_factor=reuse,
-            throughput=total_pairs / runtime_s if runtime_s > 0 else 0.0,
+            throughput=job.total_pairs / runtime_s if runtime_s > 0 else 0.0,
             node_stats=node_stats,
             hop_stats=hop_stats,
-            remote_steals=remote_steals,
+            remote_steals=job.remote_steals,
             bytes_over_wire=bytes_over_wire,
             messages=messages,
             message_kinds=message_kinds,

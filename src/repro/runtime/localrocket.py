@@ -12,15 +12,15 @@ global stealing, results written straight into an in-process
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.cache.policy import EvictionPolicy
 from repro.cache.slots import CacheCounters
 from repro.core.api import Application
+from repro.core.scheduler import JobScheduler, SchedulingPolicy, coerce_policy
 from repro.core.session import RunHandle, RunState
 from repro.core.workload import Workload
 from repro.data.filestore import FileStore
@@ -178,9 +178,17 @@ class LocalRocketRuntime(RocketBackend):
         self.config = config
         self.last_stats: Optional[RunStats] = None
 
-    def open_session(self, capacity_hint: Optional[int] = None) -> "LocalSession":
-        """Spin up a live single-node session (engine + dispatcher)."""
-        return LocalSession(self, capacity_hint=capacity_hint)
+    def open_session(
+        self,
+        capacity_hint: Optional[int] = None,
+        *,
+        policy="fifo",
+        max_active: Optional[int] = None,
+    ) -> "LocalSession":
+        """Spin up a live single-node session (engine + scheduler loop)."""
+        return LocalSession(
+            self, capacity_hint=capacity_hint, policy=policy, max_active=max_active
+        )
 
     def _one_shot_session(self, workload: Workload) -> "LocalSession":
         # One known workload: bound the engine's cache slots by its
@@ -188,27 +196,70 @@ class LocalRocketRuntime(RocketBackend):
         return self.open_session(capacity_hint=workload.n_items)
 
 
+class _LocalJob:
+    """One active job's backend-side state in a LocalSession."""
+
+    __slots__ = ("handle", "pipeline", "started", "deadline", "error")
+
+    def __init__(self, handle: RunHandle, pipeline: NodePipeline, deadline: float) -> None:
+        self.handle = handle
+        self.pipeline = pipeline
+        self.started = time.perf_counter()
+        self.deadline = deadline
+        self.error: Optional[BaseException] = None
+
+
 class LocalSession(BackendSession):
     """A live local-backend execution context.
 
     Owns one persistent :class:`~repro.runtime.pernode.NodeEngine`
     (virtual devices, device + host slot caches, thread pools) and a
-    dispatcher thread that executes submitted workloads serially
-    against it.  The caches are key-addressed, so a later job over
-    overlapping keys hits the payloads earlier jobs loaded — warm-cache
-    reuse without any per-job setup cost.
+    scheduler thread multiplexing the submitted workloads over it.
+    Under the default FIFO policy jobs execute serially in submission
+    order (the historical behaviour, workload blocks handed to the
+    pipeline wholesale); under FAIR up to ``max_active`` jobs run
+    concurrently, each on its own :class:`~repro.runtime.pernode.NodePipeline`
+    borrowing the shared engine, and the
+    :class:`~repro.core.scheduler.JobScheduler` grants grain-sized pair
+    blocks by weighted virtual time so device share tracks each job's
+    ``priority``.  The caches are key-addressed and shared, so any job
+    over overlapping keys hits the payloads earlier (or co-running)
+    jobs loaded; cache pins are held by the owning job's pipeline, so
+    cancelling one job releases exactly its pins and never disturbs a
+    co-running job's pinned slots.
     """
 
+    #: Scheduler wake-up backstop; all interesting transitions set the
+    #: wake event explicitly, the timeout only bounds lost wake-ups.
+    _TICK = 0.02
+
     def __init__(
-        self, runtime: LocalRocketRuntime, capacity_hint: Optional[int] = None
+        self,
+        runtime: LocalRocketRuntime,
+        capacity_hint: Optional[int] = None,
+        policy="fifo",
+        max_active: Optional[int] = None,
     ) -> None:
         self._runtime = runtime
         cfg = runtime.config
         self._engine = NodeEngine(cfg, rngs=RngFactory(cfg.seed), capacity_hint=capacity_hint)
-        self._queue: "queue.Queue[Optional[RunHandle]]" = queue.Queue()
+        self.policy = coerce_policy(policy)
+        # Grain: a few leaves per grant keeps hand-out overhead low
+        # while letting two jobs interleave within tens of pairs.
+        self._scheduler = JobScheduler(
+            self.policy,
+            max_active=max_active,
+            grain_pairs=max(8, 4 * cfg.leaf_size),
+            window_pairs=max(24, 12 * cfg.leaf_size),
+            # FAIR grants block-level: decompose at submit time, on the
+            # caller's thread, so a large filtered workload's predicate
+            # sweep never stalls the shared admission loop.
+            decompose=self.policy is SchedulingPolicy.FAIR,
+        )
         self._closed = False
         self._lock = threading.Lock()
-        self._handles: list = []
+        self._active: List[_LocalJob] = []
+        self._wake = threading.Event()
         self._thread = threading.Thread(
             target=self._serve, name="rocket-local-session", daemon=True
         )
@@ -216,15 +267,36 @@ class LocalSession(BackendSession):
 
     # ------------------------------------------------------------------
 
-    def submit(self, workload: Workload) -> RunHandle:
-        """Queue a workload; returns its handle immediately."""
+    def submit(
+        self,
+        workload: Workload,
+        *,
+        priority: float = 1.0,
+        max_inflight: Optional[int] = None,
+    ) -> RunHandle:
+        """Queue a workload; returns its handle immediately (QUEUED)."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("session is closed")
-            self._runtime.app.validate_keys(workload.keys)
-            handle = RunHandle(workload)
-            self._handles.append(handle)
-            self._queue.put(handle)
+        # All per-workload heavy lifting runs on the submitting thread,
+        # outside the session lock: the serve loop (which takes the
+        # same lock every iteration) keeps granting to co-running jobs
+        # while a large submission prepares.  Warming grain_blocks
+        # first also seeds the accepted-pair counts, so a filtered
+        # workload's predicate sweeps each pair exactly once.
+        self._runtime.app.validate_keys(workload.keys)
+        if self.policy is SchedulingPolicy.FAIR:
+            workload.grain_blocks(self._scheduler.grain_pairs)
+        handle = RunHandle(workload, priority=priority, max_inflight=max_inflight)
+        self._scheduler.submit(handle)
+        with self._lock:
+            if self._closed:
+                # close() raced the preparation: its cancel sweep missed
+                # this handle, so resolve it here (the queued hook makes
+                # this synchronous) and report the closure.
+                handle.cancel()
+                raise RuntimeError("session is closed")
+        self._wake.set()
         return handle
 
     @property
@@ -237,34 +309,99 @@ class LocalSession(BackendSession):
             if self._closed:
                 return
             self._closed = True
-            handles = list(self._handles)
+            handles = self._scheduler.queued_handles() + self._scheduler.active_handles()
         for handle in handles:
+            # Queued handles resolve synchronously through their cancel
+            # hook; active ones abort and are retired by the serve loop.
             handle.cancel()
-        self._queue.put(None)
+        self._wake.set()
         self._thread.join(timeout=30.0)
         self._engine.close()
 
     # ------------------------------------------------------------------
 
     def _serve(self) -> None:
+        """The session's shared admission loop (scheduler thread body)."""
         while True:
-            handle = self._queue.get()
-            if handle is None:
-                return
-            if handle.cancel_requested:
-                handle._finish(RunState.CANCELLED)
-                continue
-            try:
-                self._execute(handle)
-            except BaseException as exc:  # noqa: BLE001 - session must survive
-                if not handle.done():
-                    handle._finish(RunState.FAILED, error=exc)
+            # Idle sessions park on the event (submit/cancel/close set
+            # it); the timed tick only runs while jobs are in flight,
+            # where it drives watchdogs and grant refills.
+            self._wake.wait(timeout=self._TICK if self._active else None)
+            self._wake.clear()
+            # 1. Retire finished jobs (frees active slots first).
+            for job in [j for j in self._active if j.pipeline.done.is_set()]:
+                self._active.remove(job)
+                try:
+                    self._finalize(job)
+                except BaseException as exc:  # noqa: BLE001 - session must survive
+                    if not job.handle.done():
+                        job.handle._finish(RunState.FAILED, error=exc)
+                finally:
+                    self._scheduler.finish(job.handle)
+            # 2. Watchdogs + cancelled jobs that lost their grants.
+            now = time.perf_counter()
+            for job in self._active:
+                if job.handle.cancel_requested:
+                    self._scheduler.drop_remaining(job.handle)
+                    # A cancel that landed inside the activation window
+                    # (queued hook already a no-op, running hook not yet
+                    # installed) reaches the pipeline through this poll
+                    # instead of idling until the watchdog.
+                    job.pipeline.request_stop(abort=True)
+                if now > job.deadline and not job.pipeline.done.is_set():
+                    job.error = RuntimeError(
+                        f"run did not finish within watchdog_seconds="
+                        f"{self._runtime.config.watchdog_seconds}; completed "
+                        f"{job.pipeline.counters['completed']}/"
+                        f"{job.handle.workload.n_pairs} pairs"
+                    )
+                    self._scheduler.drop_remaining(job.handle)
+                    job.pipeline.request_stop(abort=True)
+            # 3. Admit queued jobs into free active slots.
+            for handle in self._scheduler.admit():
+                try:
+                    self._activate(handle)
+                except BaseException as exc:  # noqa: BLE001
+                    self._scheduler.finish(handle)
+                    if not handle.done():
+                        handle._finish(RunState.FAILED, error=exc)
+            # 4. Fair hand-out: grant blocks while windows are open.
+            while True:
+                grant = self._scheduler.next_grant()
+                if grant is None:
+                    break
+                handle, block, _count = grant
+                job = next((j for j in self._active if j.handle is handle), None)
+                if job is not None:
+                    job.pipeline.inject_block(block)
+            with self._lock:
+                if self._closed and not self._active and self._scheduler.idle:
+                    return
 
-    def _execute(self, handle: RunHandle) -> None:
+    def _activate(self, handle: RunHandle) -> None:
+        """Start one admitted job's pipeline on the shared engine."""
         cfg = self._runtime.config
         workload = handle.workload
-        n = workload.n_items
-        total_pairs = workload.n_pairs
+        fifo = self.policy is SchedulingPolicy.FIFO
+        scheduler = self._scheduler
+
+        if fifo:
+            # Hot path kept as lean as the pre-scheduler dispatcher:
+            # no window bookkeeping to maintain, and the serve loop
+            # only needs a wake-up for the final pair's finalization.
+            total = workload.n_pairs
+
+            def emit_result(i, j, value, _h=handle, _total=total):
+                _h._record(i, j, value)
+                if _h.progress()[0] >= _total:
+                    self._wake.set()
+
+        else:
+
+            def emit_result(i, j, value, _h=handle):
+                _h._record(i, j, value)
+                scheduler.on_completed(_h)
+                self._wake.set()
 
         pipeline = NodePipeline(
             self._runtime.app,
@@ -272,33 +409,59 @@ class LocalSession(BackendSession):
             cfg,
             workload.keys,
             pair_filter=workload.pair_filter,
-            emit_result=handle._record,
+            emit_result=emit_result,
             rngs=RngFactory(cfg.seed),
-            expected_pairs=total_pairs,
-            initial_blocks=workload.blocks(),
+            expected_pairs=workload.n_pairs,
+            # FIFO hands the decomposition over wholesale (identical to
+            # the pre-scheduler behaviour, including speed-proportional
+            # initial partitioning); FAIR feeds blocks through the
+            # shared admission loop instead.
+            initial_blocks=workload.blocks() if fifo else (),
             engine=self._engine,
+            max_inflight=handle.max_inflight,
         )
-        handle._mark_running(cancel_cb=lambda: pipeline.request_stop(abort=True))
-
-        start = time.perf_counter()
+        job = _LocalJob(
+            handle, pipeline, time.perf_counter() + cfg.watchdog_seconds
+        )
+        if fifo:
+            scheduler.mark_fully_granted(handle)
+        # FAIR: the grain quanta were precomputed at submit time
+        # (decompose=True) — nothing heavy runs on this thread.
+        self._active.append(job)
         pipeline.start()
+        handle._mark_running(
+            cancel_cb=lambda: (pipeline.request_stop(abort=True), self._wake.set())
+        )
+
+    def _finalize(self, job: _LocalJob) -> None:
+        """Join a finished job's pipeline and resolve its handle."""
+        cfg = self._runtime.config
+        handle = job.handle
+        pipeline = job.pipeline
+        total_pairs = handle.workload.n_pairs
+        n = handle.workload.n_items
         try:
-            error: Optional[BaseException] = None
-            finished = pipeline.wait(cfg.watchdog_seconds)
-            if not finished:
-                pipeline.request_stop(abort=True)
-                error = RuntimeError(
-                    f"run did not finish within watchdog_seconds={cfg.watchdog_seconds}; "
-                    f"completed {pipeline.counters['completed']}/{total_pairs} pairs"
-                )
             pipeline.join(timeout=10.0)
         finally:
-            pipeline.close()
-        runtime = time.perf_counter() - start
+            pipeline.close()  # engine is session-owned: stays warm
+        runtime = time.perf_counter() - job.started
 
-        if handle.cancel_requested:
+        if handle.accounting is not None:
+            # FIFO's lean emit path does not credit per-pair
+            # completions; sync the count here so partial progress of
+            # failed/cancelled jobs reports correctly on every backend.
+            handle.accounting.pairs_completed = max(
+                handle.accounting.pairs_completed, handle.progress()[0]
+            )
+        completed_all = (
+            handle.progress()[0] == total_pairs
+            and job.error is None
+            and not pipeline.errors
+        )
+        if handle.cancel_requested and not completed_all:
             handle._finish(RunState.CANCELLED)
             return
+        error = job.error
         if error is None and pipeline.errors:
             error = pipeline.errors[0]
         if error is None and handle.progress()[0] != total_pairs:

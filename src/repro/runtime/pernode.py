@@ -111,6 +111,10 @@ class _DeviceState:
         self.cache = cache
         self.cond = threading.Condition()
         self.admission = admission
+        #: Guards ``pairs_done``: the device state is engine-shared, so
+        #: concurrently running jobs' pipelines increment it from under
+        #: *different* per-pipeline counter locks.
+        self.pairs_lock = threading.Lock()
         self.pairs_done = 0
 
 
@@ -197,6 +201,8 @@ class NodeEngine:
             "devices": [],
         }
         for st in self.states:
+            with st.pairs_lock:
+                pairs_done = st.pairs_done
             out["devices"].append(
                 (
                     counters_tuple(st.cache.counters),
@@ -204,7 +210,7 @@ class NodeEngine:
                     st.device.kernel_count,
                     st.device.h2d_bytes,
                     st.device.d2h_bytes,
-                    st.pairs_done,
+                    pairs_done,
                 )
             )
         return out
@@ -256,6 +262,7 @@ class NodePipeline:
         global_steal: Optional[Callable[[], Optional[PairBlock]]] = None,
         initial_blocks: Sequence[PairBlock] = (),
         engine: Optional[NodeEngine] = None,
+        max_inflight: Optional[int] = None,
     ) -> None:
         cfg = config
         self.app = app
@@ -268,6 +275,13 @@ class NodePipeline:
         self.expected_pairs = expected_pairs
         self.remote_fetch = remote_fetch
         self.global_steal = global_steal
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        #: Job-level cap on concurrently in-flight pair comparisons
+        #: (fair-share back-pressure on a shared engine): workers stop
+        #: submitting this job's pairs once the cap is reached, on top
+        #: of the engine's per-device admission limit.
+        self.max_inflight = max_inflight
 
         n = len(self.keys)
         rngs = rngs if rngs is not None else RngFactory(cfg.seed)
@@ -321,6 +335,11 @@ class NodePipeline:
             "local_steals": 0,
             "submitted": 0,
             "completed": 0,
+            # Device-cache pins this job currently holds.  Pins are
+            # job-tagged via the owning pipeline so that cancelling one
+            # job verifiably releases *its* pins while co-running jobs'
+            # pinned slots stay protected from eviction.
+            "held_pins": 0,
         }
         self.counters_lock = threading.Lock()
         #: Live per-stage cost measurements (guarded by counters_lock).
@@ -408,6 +427,17 @@ class NodePipeline:
 
     # -- introspection ---------------------------------------------------
 
+    @property
+    def held_pins(self) -> int:
+        """Device-cache pins this job's in-flight pairs currently hold.
+
+        Zero once the pipeline is joined — a cancelled job must hand
+        every pin back so its eviction protection dies with it, while
+        co-running jobs' pins (tracked by *their* pipelines) survive.
+        """
+        with self.counters_lock:
+            return self.counters["held_pins"]
+
     def _now(self) -> float:
         return time.perf_counter() - self._t_origin
 
@@ -444,7 +474,8 @@ class NodePipeline:
             kernel_counts[st.device.name] = st.device.kernel_count - base[2]
             h2d_bytes += st.device.h2d_bytes - base[3]
             d2h_bytes += st.device.d2h_bytes - base[4]
-            pairs_per_device[st.device.name] = st.pairs_done - base[5]
+            with st.pairs_lock:
+                pairs_per_device[st.device.name] = st.pairs_done - base[5]
         with self.counters_lock:
             counters = dict(self.counters)
             calibration = StageCalibration()
@@ -521,6 +552,8 @@ class NodePipeline:
                 first = False
                 if slot is not None and slot.state is SlotState.READ:
                     st.cache.pin(slot)
+                    with self.counters_lock:
+                        self.counters["held_pins"] += 1
                     return slot
                 if slot is None:
                     wslot = st.cache.reserve(self.keys[idx])
@@ -536,12 +569,16 @@ class NodePipeline:
                 st.cache.abandon(wslot)
                 st.cond.notify_all()
             raise
+        with self.counters_lock:
+            self.counters["held_pins"] += 1
         return wslot  # published with one reader pin for us
 
     def _release_device_item(self, st: _DeviceState, slot: Slot) -> None:
         with st.cond:
             st.cache.unpin(slot)
             st.cond.notify_all()
+        with self.counters_lock:
+            self.counters["held_pins"] -= 1
 
     def _fill_device(self, st: _DeviceState, idx: int, wslot: Slot) -> None:
         """Fill a reserved device slot from host cache, a peer, or a load."""
@@ -684,8 +721,9 @@ class NodePipeline:
             # consumer of this run's results is already gone.
             if not self.aborted.is_set():
                 self.emit_result(i, j, value)
-            with self.counters_lock:
+            with st.pairs_lock:
                 st.pairs_done += 1
+            with self.counters_lock:
                 self.calibration.record_compare(cmp_duration, st.device.speed_factor)
                 self.calibration.record_postprocess(post_duration)
         except BaseException as exc:  # noqa: BLE001 - reported to caller
@@ -705,6 +743,44 @@ class NodePipeline:
                     self.work_cond.notify_all()
 
     # -- worker loop -----------------------------------------------------
+
+    def _claim_submission(self, st: _DeviceState) -> bool:
+        """Reserve one pair submission; False when the run ended instead.
+
+        The ``submitted`` increment happens *inside* the window check's
+        critical section, so the job-level ``max_inflight`` cap holds
+        even with several device workers racing (check-then-increment
+        in two steps would let every worker see the same open window).
+        The cap is per pipeline, i.e. per node on the cluster backend.
+        """
+        if self.max_inflight is not None:
+            reserved = False
+            with self.work_cond:
+                while not reserved:
+                    with self.counters_lock:
+                        if (
+                            self.counters["submitted"] - self.counters["completed"]
+                            < self.max_inflight
+                        ):
+                            self.counters["submitted"] += 1
+                            reserved = True
+                            break
+                    if self.done.is_set():
+                        return False
+                    # Completions notify work_cond and reopen the window.
+                    self.work_cond.wait(timeout=0.05)
+            while not st.admission.acquire(timeout=0.5):
+                if self.done.is_set():
+                    with self.counters_lock:
+                        self.counters["submitted"] -= 1
+                    return False
+            return True
+        while not st.admission.acquire(timeout=0.5):
+            if self.done.is_set():
+                return False
+        with self.counters_lock:
+            self.counters["submitted"] += 1
+        return True
 
     def _trim_steal(self, task: PairBlock, thief: int, victim: int) -> PairBlock:
         """Size a stolen block to the thief/victim speed ratio.
@@ -774,11 +850,8 @@ class NodePipeline:
                 for (i, j) in task.pairs():
                     if self.pair_filter is not None and not self.pair_filter(keys[i], keys[j]):
                         continue
-                    while not st.admission.acquire(timeout=0.5):
-                        if self.done.is_set():
-                            return
-                    with self.counters_lock:
-                        self.counters["submitted"] += 1
+                    if not self._claim_submission(st):
+                        return
                     self._job_pool.submit(self._run_job, d, i, j)
             else:
                 with self.sched_lock:

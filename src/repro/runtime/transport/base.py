@@ -174,11 +174,17 @@ class ResultBatcher:
         node_id: int,
         batch_size: int,
         max_delay: float = 0.05,
+        job_id: Optional[int] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._send = send
         self.node_id = node_id
+        #: When set, batches go out job-tagged as
+        #: ``("results", node, job_id, block)`` so a coordinator serving
+        #: several concurrent jobs can route them; None keeps the
+        #: single-job ``("results", node, block)`` shape.
+        self.job_id = job_id
         self.batch_size = batch_size
         self.max_delay = max_delay
         self._lock = threading.Lock()
@@ -219,7 +225,10 @@ class ResultBatcher:
     def _ship(self, block: Tuple[Tuple[int, int, Any], ...]) -> None:
         self.batches_sent += 1
         self.results_sent += len(block)
-        self._send(("results", self.node_id, block))
+        if self.job_id is None:
+            self._send(("results", self.node_id, block))
+        else:
+            self._send(("results", self.node_id, self.job_id, block))
 
 
 # ----------------------------------------------------------------------

@@ -131,13 +131,19 @@ class StubPipeline:
         self.stopped = abort
 
 
+JOB = 0  # protocol job id used by the unit-test network
+
+
 def make_net(n_nodes, keys, payloads_by_node, max_hops=2):
     net = SyncNet()
     cfg = ClusterConfig(n_nodes=n_nodes, max_hops=max_hops, fetch_timeout=1.0, steal_timeout=0.2)
+    net.states = {}
     for node in range(n_nodes):
-        server = NodeCommServer(node, keys, cfg, net.transport_for(node))
-        server.attach(StubPipeline(payloads_by_node.get(node, {})))
+        server = NodeCommServer(node, cfg, net.transport_for(node))
+        state = server.begin_job(JOB, keys)
+        server.attach(state, StubPipeline(payloads_by_node.get(node, {})))
         net.servers[node] = server
+        net.states[node] = state
     return net
 
 
@@ -146,10 +152,10 @@ class TestDistributedCacheProtocol:
 
     def test_first_request_has_no_candidates(self):
         net = make_net(2, self.KEYS, {})
-        requester = net.servers[0]
-        assert requester.remote_fetch(1) is None
-        assert requester.hops.no_candidates == 1
-        assert requester.hops.requests == 1
+        requester, state = net.servers[0], net.states[0]
+        assert requester.remote_fetch(state, 1) is None
+        assert state.hops.no_candidates == 1
+        assert state.hops.requests == 1
 
     def test_hit_at_first_hop_ships_payload(self):
         item = 1
@@ -158,21 +164,21 @@ class TestDistributedCacheProtocol:
         net = make_net(2, self.KEYS, {1: {self.KEYS[item]: payload}})
         # Node 1 requested the item earlier, so the mediator (itself)
         # lists it as the candidate for future requests.
-        net.servers[1].handle(("creq", 1, item, 999))
-        got = net.servers[0].remote_fetch(item)
+        net.servers[1].handle(("creq", JOB, 1, item, 999))
+        got = net.servers[0].remote_fetch(net.states[0], item)
         assert got is not None and np.array_equal(got, payload)
-        assert net.servers[0].hops.hits_at_hop[0] == 1
-        assert net.servers[0].bytes_received == payload.nbytes
-        assert net.servers[1].bytes_shipped == payload.nbytes
+        assert net.states[0].hops.hits_at_hop[0] == 1
+        assert net.states[0].bytes_received == payload.nbytes
+        assert net.states[1].bytes_shipped == payload.nbytes
 
     def test_holder_evicted_between_forward_and_fetch_is_a_miss(self):
         """Churn: the candidate dropped the item; request falls to a load."""
         item = 1
         net = make_net(2, self.KEYS, {1: {}})  # node 1 holds nothing any more
-        net.servers[1].handle(("creq", 1, item, 999))  # ...but is still listed
-        assert net.servers[0].remote_fetch(item) is None
-        assert net.servers[0].hops.misses == 1
-        assert net.servers[0].hops.total_hits == 0
+        net.servers[1].handle(("creq", JOB, 1, item, 999))  # ...but is still listed
+        assert net.servers[0].remote_fetch(net.states[0], item) is None
+        assert net.states[0].hops.misses == 1
+        assert net.states[0].hops.total_hits == 0
 
     def test_eviction_falls_through_to_next_candidate(self):
         """Churn along the chain: first candidate evicted, second still holds."""
@@ -185,31 +191,30 @@ class TestDistributedCacheProtocol:
             {2: {}, 1: {self.KEYS[item]: payload}},  # node 2 evicted, node 1 holds
         )
         mediator = net.servers[3]
-        mediator.handle(("creq", 1, item, 901))  # node 1 requested first
-        mediator.handle(("creq", 2, item, 902))  # node 2 most recent candidate
-        got = net.servers[0].remote_fetch(item)
+        mediator.handle(("creq", JOB, 1, item, 901))  # node 1 requested first
+        mediator.handle(("creq", JOB, 2, item, 902))  # node 2 most recent candidate
+        got = net.servers[0].remote_fetch(net.states[0], item)
         assert got is not None and np.array_equal(got, payload)
         # Probe visited node 2 (miss) then node 1: a hit at hop 2.
-        assert net.servers[0].hops.hits_at_hop == [0, 1]
+        assert net.states[0].hops.hits_at_hop == [0, 1]
 
     def test_chain_exhausted_records_miss(self):
         item = 3
         net = make_net(4, self.KEYS, {1: {}, 2: {}})
         mediator = net.servers[3]
-        mediator.handle(("creq", 1, item, 901))
-        mediator.handle(("creq", 2, item, 902))
-        assert net.servers[0].remote_fetch(item) is None
-        assert net.servers[0].hops.misses == 1
-        assert net.servers[0].hops.no_candidates == 0
+        mediator.handle(("creq", JOB, 1, item, 901))
+        mediator.handle(("creq", JOB, 2, item, 902))
+        assert net.servers[0].remote_fetch(net.states[0], item) is None
+        assert net.states[0].hops.misses == 1
+        assert net.states[0].hops.no_candidates == 0
 
     def test_mediator_excludes_requester_from_candidates(self):
         item = 1
         net = make_net(2, self.KEYS, {})
-        requester = net.servers[0]
-        net.servers[1].handle(("creq", 0, item, 900))  # only node 0 ever asked
-        assert requester.remote_fetch(item) is None
+        net.servers[1].handle(("creq", JOB, 0, item, 900))  # only node 0 ever asked
+        assert net.servers[0].remote_fetch(net.states[0], item) is None
         # Node 0 must not be forwarded to itself: that is a no-candidate miss.
-        assert requester.hops.no_candidates == 2 - 1  # second request, still none
+        assert net.states[0].hops.no_candidates == 2 - 1  # second request, still none
 
     def test_message_budget_is_h_plus_2(self):
         """A full-chain miss costs exactly h + 2 protocol messages."""
@@ -217,32 +222,66 @@ class TestDistributedCacheProtocol:
         h = 2
         net = make_net(4, self.KEYS, {1: {}, 2: {}}, max_hops=h)
         mediator = net.servers[3]
-        mediator.handle(("creq", 1, item, 901))
-        mediator.handle(("creq", 2, item, 902))
-        before = sum(s.messages for s in net.servers.values())
-        net.servers[0].remote_fetch(item)
-        spent = sum(s.messages for s in net.servers.values()) - before
+        mediator.handle(("creq", JOB, 1, item, 901))
+        mediator.handle(("creq", JOB, 2, item, 902))
+        before = sum(s.messages for s in net.states.values())
+        net.servers[0].remote_fetch(net.states[0], item)
+        spent = sum(s.messages for s in net.states.values()) - before
         assert spent == h + 2  # request + h forwards + reply
+
+    def test_unknown_job_request_answered_with_miss(self):
+        """A creq for a job this node never began gets a definitive miss
+        reply instead of being dropped — the requester must fall through
+        to a local load, not block out its fetch timeout."""
+        net = make_net(2, self.KEYS, {})
+        assert net.servers[0].remote_fetch(net.states[0], 1) is None  # warm-up
+        state_other = net.servers[0].begin_job(99, self.KEYS)
+        net.servers[0].attach(state_other, StubPipeline({}))
+        # Node 1 never began job 99: the mediator answers with a miss.
+        assert net.servers[0].remote_fetch(state_other, 1) is None
+        assert state_other.hops.misses + state_other.hops.no_candidates >= 1
 
     def test_late_steal_grant_is_not_lost(self):
         net = make_net(2, self.KEYS, {})
         server = net.servers[0]
         block = PairBlock.root(8)
-        server.handle(("sgrant", 12345, block))  # no pending request: timed out
-        assert server.pipeline.injected == [block]
+        server.handle(("sgrant", JOB, 12345, block))  # no pending request: timed out
+        assert net.states[0].pipeline.injected == [block]
+
+    def test_steal_grant_for_ended_job_is_dropped(self):
+        """A grant tagged with an ended job's id must not be injected
+        into another job's pipeline (its index space differs)."""
+        net = make_net(2, self.KEYS, {})
+        server = net.servers[0]
+        server.end_job(net.states[0])
+        block = PairBlock.root(8)
+        server.handle(("sgrant", JOB, 12345, block))
+        assert net.states[0].pipeline is None  # detached, nothing injected
 
     def test_stop_wakes_blocked_steal(self):
         net = make_net(2, self.KEYS, {})
-        server = net.servers[0]
+        server, state = net.servers[0], net.states[0]
         out = []
-        t = threading.Thread(target=lambda: out.append(server.global_steal()))
+        t = threading.Thread(target=lambda: out.append(server.global_steal(state)))
         t.start()
         # sreq goes to the coordinator log and nobody answers; stop must wake it.
-        server.handle(("stop", server.job_id, False))
+        server.handle(("stop", JOB, False))
         t.join(timeout=2.0)
         assert not t.is_alive() and out == [None]
-        assert server.pipeline.stopped is False
-        assert server.stopped
+        assert state.pipeline.stopped is False
+        assert state.stopped.is_set()
+
+    def test_stop_of_one_job_leaves_other_running(self):
+        """Job isolation: stopping job A resolves only A's pending
+        requests and pipeline; co-active job B is untouched."""
+        net = make_net(2, self.KEYS, {})
+        server = net.servers[0]
+        state_a = net.states[0]
+        state_b = server.begin_job(7, self.KEYS)
+        server.attach(state_b, StubPipeline({}))
+        server.handle(("stop", JOB, True))
+        assert state_a.stopped.is_set() and state_a.pipeline.stopped is True
+        assert not state_b.stopped.is_set() and state_b.pipeline.stopped is None
 
 
 # ----------------------------------------------------------------------
@@ -402,7 +441,8 @@ class TestClusterRuntime:
         runtime = ClusterRocketRuntime(
             SumApp(), store, RocketConfig(**self.CFG), cluster=ClusterConfig(n_nodes=2)
         )
-        results = runtime.run(keys, pair_filter=accept_pair)
+        with pytest.warns(DeprecationWarning, match="FilteredPairs"):
+            results = runtime.run(keys, pair_filter=accept_pair)
         expected = [
             (a, b) for i, a in enumerate(keys) for b in keys[i + 1:] if accept_pair(a, b)
         ]

@@ -23,6 +23,7 @@ import numpy as np
 import pytest
 
 from repro.core.api import Application
+from repro.core.workload import as_workload
 from repro.data.filestore import InMemoryStore
 from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime
 from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
@@ -159,7 +160,7 @@ def test_cross_runtime_result_parity(sc):
     expected = reference_results(app, store, keys, pair_filter)
 
     local = LocalRocketRuntime(app, store, rocket_config(sc))
-    local_results = local.run(keys, pair_filter=pair_filter)
+    local_results = local.run(as_workload(keys, pair_filter))
     assert len(local_results) == len(expected)
     for (a, b), v in expected.items():
         assert local_results.get(a, b) == v
@@ -179,7 +180,7 @@ def test_cross_runtime_result_parity(sc):
             steal_timeout=5.0,
         ),
     )
-    cluster_results = cluster.run(keys, pair_filter=pair_filter)
+    cluster_results = cluster.run(as_workload(keys, pair_filter))
     assert len(cluster_results) == len(expected)
     for (a, b), v in expected.items():
         assert cluster_results.get(a, b) == v
