@@ -11,6 +11,8 @@ EXPERIMENTS.md records paper-vs-measured numbers for every experiment.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, replace
 
 from repro.sim.cluster import ClusterSpec
@@ -18,7 +20,14 @@ from repro.sim.rocketsim import RocketSimConfig, SimReport, run_simulation
 from repro.sim.storage import StorageSpec
 from repro.sim.workload import BIOINFORMATICS, FORENSICS, MICROSCOPY, WorkloadProfile, scaled_profile
 
-__all__ = ["ScaledApp", "SCALED_APPS", "run_scaled", "scale_cluster", "print_block"]
+__all__ = [
+    "ScaledApp",
+    "SCALED_APPS",
+    "run_scaled",
+    "scale_cluster",
+    "print_block",
+    "write_bench_json",
+]
 
 
 @dataclass(frozen=True)
@@ -116,3 +125,22 @@ def print_block(title: str, body: str) -> None:
     """Uniform experiment output formatting."""
     bar = "=" * max(len(title), 8)
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def write_bench_json(name: str, results: dict) -> str:
+    """Persist one benchmark's measured numbers as ``BENCH_<name>.json``.
+
+    CI collects these files as workflow artifacts, so the performance
+    trajectory across PRs is a series of durable measurements instead
+    of living only in assert floors.  The file lands in
+    ``$BENCH_OUT_DIR`` (default: the current directory) and holds
+    ``{"bench": name, "results": results}``; ``results`` must be
+    JSON-dumpable (plain numbers/strings/dicts/lists only).
+    """
+    out_dir = os.environ.get("BENCH_OUT_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"bench": name, "results": results}, fh, indent=2, sort_keys=True)
+    print(f"benchmark results written to {path}")
+    return path

@@ -32,7 +32,7 @@ from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
 from repro.scheduling.workstealing import StealPolicy
 from repro.util.tables import format_table
 
-from _common import print_block
+from _common import print_block, write_bench_json
 
 N_ITEMS = 10
 T_CMP = 0.012  # seconds per comparison kernel at reference speed
@@ -120,6 +120,23 @@ def test_speed_aware_beats_uniform_on_skewed_mix(once):
             title=f"{len(keys)} items, {len(keys) * (len(keys) - 1) // 2} pairs, "
             f"t_cmp={1e3 * T_CMP:.0f} ms; speed-aware speedup {speedup:.2f}x",
         ),
+    )
+
+    write_bench_json(
+        "hetero",
+        {
+            "speedup": speedup,
+            "policies": {
+                policy.value: {
+                    "runtime_s": st.runtime,
+                    "predicted_runtime_s": st.predicted_runtime,
+                    "model_efficiency": st.model_efficiency,
+                    "local_steals": st.local_steals,
+                    "pairs_per_device": dict(st.pairs_per_device),
+                }
+                for policy, st in stats.items()
+            },
+        },
     )
 
     fast, slow = (f"gpu{d}" for d in range(2))

@@ -29,7 +29,7 @@ from repro.data.filestore import InMemoryStore
 from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
 from repro.util.tables import format_table
 
-from _common import print_block
+from _common import print_block, write_bench_json
 
 N_LARGE = 16  # 120 pairs
 N_SMALL = 5  # 10 pairs
@@ -132,6 +132,19 @@ def test_fair_sharing_cuts_small_job_latency(once):
     )
     print_block(
         "Multi-job scheduling: small high-priority job vs a large incumbent", body
+    )
+
+    write_bench_json(
+        "multijob",
+        {
+            "fifo_small_latency_s": fifo["small_latency"],
+            "fair_small_latency_s": fair["small_latency"],
+            "fifo_total_s": fifo["total"],
+            "fair_total_s": fair["total"],
+            "latency_speedup": speedup,
+            "throughput_ratio": throughput_ratio,
+            "small_job": fair["small_accounting"].to_dict(),
+        },
     )
 
     assert speedup >= LATENCY_FLOOR, (

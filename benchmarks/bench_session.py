@@ -29,7 +29,7 @@ from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime
 from repro.runtime.localrocket import RocketConfig
 from repro.util.tables import format_table
 
-from _common import print_block
+from _common import print_block, write_bench_json
 
 N_ITEMS = 12
 T_PARSE = 0.012  # seconds per item parse (CPU stage)
@@ -138,6 +138,21 @@ def test_session_warm_jobs_beat_cold_runs(once):
             rows,
             title=f"warm-vs-cold speedup {speedup:.2f}x",
         ),
+    )
+
+    write_bench_json(
+        "session",
+        {
+            "cold_s": measured["cold_s"],
+            "warm_s": measured["warm_s"],
+            "speedup": speedup,
+            "cold_loads": measured["cold_loads"],
+            "first_loads": measured["first_loads"],
+            "warm_loads": measured["warm_loads"],
+            "warm_hits": measured["warm_hits"],
+            "n_items": N_ITEMS,
+            "n_nodes": N_NODES,
+        },
     )
 
     # Identical results regardless of cache temperature.

@@ -29,7 +29,7 @@ from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime
 from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
 from repro.util.tables import format_table
 
-from _common import print_block
+from _common import print_block, write_bench_json
 
 N_ITEMS = 12
 PAYLOAD_FLOATS = 32768  # 256 KB pre-processed payload per item
@@ -129,6 +129,22 @@ def test_transport_shootout(once):
             rows,
             title=f"{baseline.n_pairs} pairs; serialized = payload bytes on the message wire",
         ),
+    )
+
+    write_bench_json(
+        "transport",
+        {
+            label: {
+                "runtime_s": stats.runtime,
+                "pairs_per_s": stats.throughput,
+                "remote_hits": stats.hop_stats.total_hits,
+                "remote_requests": stats.hop_stats.requests,
+                "bytes_over_wire": stats.bytes_over_wire,
+                "messages": stats.messages,
+                "message_kinds": dict(stats.message_kinds),
+            }
+            for label, (_, stats) in runs.items()
+        },
     )
 
     (_, per_pair), (_, batched), (_, shm) = (runs[label] for label, _ in PLANS)

@@ -64,6 +64,7 @@ from repro.core import (
     SchedulingPolicy,
     Workload,
 )
+from repro.obs import MetricsRegistry, configure_logging, get_logger
 from repro.runtime import (
     ClusterConfig,
     ClusterRocketRuntime,
@@ -72,6 +73,7 @@ from repro.runtime import (
     RunStats,
     VirtualDevice,
 )
+from repro.util.trace import ProfileTrace
 
 __version__ = "1.2.0"
 
@@ -99,5 +101,9 @@ __all__ = [
     "ClusterRocketRuntime",
     "ClusterRunStats",
     "VirtualDevice",
+    "MetricsRegistry",
+    "ProfileTrace",
+    "configure_logging",
+    "get_logger",
     "__version__",
 ]

@@ -82,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs-file set per-entry 'priority' keys instead (combining "
             "the two is an error)",
         )
+        p.add_argument(
+            "--profile", metavar="PATH", default=None,
+            help="profile the run and write the merged multi-process "
+            "Chrome/Perfetto trace JSON to PATH (load it in "
+            "chrome://tracing or ui.perfetto.dev)",
+        )
+        p.add_argument(
+            "--log-json", action="store_true",
+            help="emit structured runtime logs as JSON lines on stderr",
+        )
         if with_backend:
             p.add_argument(
                 "--backend", choices=["local", "cluster"], default="local",
@@ -263,7 +273,9 @@ def _load_jobs_file(path: str, keys) -> List[dict]:
     return jobs
 
 
-def _run_jobs_file(rocket, path: str, keys, save: Optional[str]) -> int:
+def _run_jobs_file(
+    rocket, path: str, keys, save: Optional[str], profile: Optional[str] = None
+) -> int:
     """Submit every --jobs-file job to one fair-sharing session."""
     with rocket.session(policy="fair") as session:
         handles = [
@@ -282,6 +294,9 @@ def _run_jobs_file(rocket, path: str, keys, save: Optional[str]) -> int:
                 target = f"{save}.job{idx}.json"
                 save_results(results, target)
                 print(f"  results written to {target}")
+        if profile:
+            session.profile().save(profile)
+            print(f"profile trace written to {profile}")
     return 0
 
 
@@ -296,6 +311,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     device_speeds, node_speeds = _parse_device_speeds(
         args.device_speeds, args.devices, nodes
     )
+    if args.log_json:
+        from repro.obs.log import configure_logging
+
+        configure_logging(json_lines=True)
 
     store = InMemoryStore()
     app, keys = _make_demo_app(store, args.app, args.items, args.seed)
@@ -304,6 +323,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         device_speed_factors=device_speeds,
         steal_policy=StealPolicy(args.steal_policy),
+        profiling=bool(args.profile),
     )
 
     options = {}
@@ -325,7 +345,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "--priority has no effect with --jobs-file; set per-entry "
                 "'priority' keys in the jobs file instead"
             )
-        return _run_jobs_file(rocket, args.jobs_file, keys, args.save)
+        return _run_jobs_file(rocket, args.jobs_file, keys, args.save, args.profile)
     workload = _make_workload(keys, args.bipartite, args.delta)
     if args.priority != 1.0:
         # A lone job has no competition, so keep the serial FIFO
@@ -334,8 +354,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with rocket.session() as session:
             handle = session.submit(workload, priority=args.priority)
             results = handle.result()
+            if args.profile:
+                session.profile().save(args.profile)
     else:
-        results = rocket.run(workload)
+        results = rocket.run(workload, profile=args.profile)
+    if args.profile:
+        print(f"profile trace written to {args.profile}")
     print(workload.describe())
     print(rocket.last_stats.summary())
     sample = list(results.items())[:5]

@@ -68,7 +68,8 @@ cache/scheduling logic on a simulated platform.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence, Union
+import dataclasses
+from typing import Hashable, Optional, Sequence, Union
 
 from repro.core.api import Application
 from repro.core.result import ResultMatrix
@@ -95,6 +96,11 @@ class Rocket:
         self.app = app
         self.store = store
         self.config = config
+        # Kept so run(profile=...) can rebuild the backend with the
+        # profiling flag flipped on without the caller re-plumbing
+        # every backend option.
+        self._backend_name = backend
+        self._backend_options = dict(backend_options)
         self._runtime = create_backend(backend, app, store, config, **backend_options)
 
     @property
@@ -111,6 +117,7 @@ class Rocket:
         self,
         keys: Union[Sequence[Hashable], Workload],
         pair_filter=None,
+        profile: Optional[str] = None,
     ) -> ResultMatrix:
         """Execute one workload to completion (a one-shot session).
 
@@ -120,8 +127,27 @@ class Rocket:
         accepted pairs — the deprecated spelling of
         :class:`~repro.core.workload.FilteredPairs`; passing it emits a
         ``DeprecationWarning``.
+
+        ``profile=`` writes the run's merged multi-process
+        Chrome/Perfetto trace to that path (loadable in
+        ``chrome://tracing`` / `ui.perfetto.dev`_); profiling is turned
+        on for the run even when ``config.profiling`` is off.
+
+        .. _ui.perfetto.dev: https://ui.perfetto.dev
         """
-        return self._runtime.run(keys, pair_filter=pair_filter)
+        if profile is None:
+            return self._runtime.run(keys, pair_filter=pair_filter)
+        runtime = self._runtime
+        if not self.config.profiling:
+            runtime = create_backend(
+                self._backend_name, self.app, self.store,
+                dataclasses.replace(self.config, profiling=True),
+                **self._backend_options,
+            )
+        result = runtime.run(keys, pair_filter=pair_filter, profile=profile)
+        if runtime is not self._runtime:
+            self._runtime.last_stats = runtime.last_stats
+        return result
 
     def session(self, policy="fifo", max_active=None) -> RocketSession:
         """Open a long-lived session on this Rocket's backend.

@@ -146,6 +146,21 @@ class JobAccounting:
         end = self.finished_at if self.finished_at is not None else time.monotonic()
         return max(0.0, end - self.started_at)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-dumpable form (the per-job record in ``session.metrics()``)."""
+        return {
+            "job_id": self.job_id,
+            "priority": self.priority,
+            "policy": self.policy,
+            "pairs_total": self.pairs_total,
+            "pairs_granted": self.pairs_granted,
+            "pairs_completed": self.pairs_completed,
+            "blocks_granted": self.blocks_granted,
+            "peak_inflight": self.peak_inflight,
+            "queued_seconds": self.queued_seconds,
+            "running_seconds": self.running_seconds,
+        }
+
     def summary(self) -> str:
         """Short human-readable digest."""
         peak = str(self.peak_inflight) if self.peak_inflight else "n/a"

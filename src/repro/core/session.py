@@ -359,6 +359,27 @@ class RocketSession:
         """Statistics of the session's most recently completed job."""
         return self._backend.last_stats
 
+    def metrics(self):
+        """Session-lifetime metrics snapshot (nested, JSON-dumpable).
+
+        Counters, gauges and histograms accumulated across every job
+        this session ran — cache hits per level, steal grants,
+        transport traffic, scheduler queue depth and grant latency,
+        plus per-job accounting records.  See :mod:`repro.obs.metrics`.
+        """
+        return self._session.metrics()
+
+    def profile(self):
+        """Merged multi-process profile of the session's jobs so far.
+
+        Returns a :class:`~repro.util.trace.ProfileTrace` combining the
+        coordinator's spans with every node process's shipped trace
+        buffer (empty unless the backend config has
+        ``profiling=True``); ``trace.save(path)`` writes it as
+        Chrome/Perfetto JSON.
+        """
+        return self._session.profile()
+
     def close(self) -> None:
         """Tear down the backend (cancels queued and running jobs)."""
         self._session.close()

@@ -1,0 +1,24 @@
+"""Observability: unified metrics registry and structured logging.
+
+This package is the operational counterpart of :mod:`repro.util.trace`:
+where traces answer *where did the time go inside one run*, the metrics
+registry (:mod:`repro.obs.metrics`) accumulates counters, gauges and
+histograms across a session's lifetime — cache hits per level, steal
+grants, transport bytes, scheduler queue depth and grant latency —
+behind one JSON-dumpable snapshot (``session.metrics()``).  Structured
+logging (:mod:`repro.obs.log`) gives every coordinator/node component a
+logger that stamps ``component``/``job_id``/``node`` and can emit JSON
+lines for machine ingestion (``rocket-repro run --log-json``).
+"""
+
+from repro.obs.metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+from repro.obs.log import configure_logging, get_logger
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "configure_logging",
+    "get_logger",
+]

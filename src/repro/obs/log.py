@@ -1,0 +1,148 @@
+"""Structured logging for coordinator and node components.
+
+Every component gets its logger through :func:`get_logger`, which
+namespaces it under ``"rocket."`` and stamps each record with the
+component name plus any bound context (``job_id``, ``node``):
+
+    log = get_logger("cluster.coordinator")
+    log.info("job started", job_id=3, node=1)
+
+As a library, the package installs no handler — records propagate to
+the application's logging configuration and stay silent by default
+(INFO and below never reach :data:`logging.lastResort`).  The CLI (and
+tests) opt in via :func:`configure_logging`, which installs either a
+human-readable line format or, under ``--log-json``, one JSON object
+per line::
+
+    {"ts": 1754650000.123, "level": "INFO", "component": "cluster.coordinator",
+     "msg": "job started", "job_id": 3, "node": 1}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import IO, Optional, Union
+
+__all__ = ["ROOT_LOGGER", "JsonLinesFormatter", "configure_logging", "get_logger"]
+
+#: Namespace root of every logger this module hands out.
+ROOT_LOGGER = "rocket"
+
+#: Context keys promoted to top-level fields in JSON lines.
+_CONTEXT_FIELDS = ("component", "job_id", "node")
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Format each record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "component": getattr(record, "component", record.name),
+            "msg": record.getMessage(),
+        }
+        for key in _CONTEXT_FIELDS[1:]:
+            value = getattr(record, key, None)
+            if value is not None:
+                entry[key] = value
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry)
+
+
+class _TextFormatter(logging.Formatter):
+    """Human-readable line format with the same context fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        component = getattr(record, "component", record.name)
+        context = []
+        for key in _CONTEXT_FIELDS[1:]:
+            value = getattr(record, key, None)
+            if value is not None:
+                context.append(f"{key}={value}")
+        suffix = f" [{' '.join(context)}]" if context else ""
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        base = f"{stamp} {record.levelname:<7} {component}: {record.getMessage()}{suffix}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+class _ComponentLogger(logging.LoggerAdapter):
+    """Adapter that merges bound context into every record.
+
+    Accepts context both at binding time (``get_logger(component,
+    node=2)``) and per call (``log.info("msg", job_id=7)``); per-call
+    keys win.  Unknown keyword arguments are treated as context, which
+    is what makes the call sites read like structured events.
+    """
+
+    def process(self, msg, kwargs):
+        context = dict(self.extra or {})
+        passthrough = {}
+        for key in ("exc_info", "stack_info", "stacklevel"):
+            if key in kwargs:
+                passthrough[key] = kwargs.pop(key)
+        extra = kwargs.pop("extra", None)
+        if extra:
+            context.update(extra)
+        context.update(kwargs)
+        passthrough["extra"] = context
+        return msg, passthrough
+
+    # LoggerAdapter.log filters kwargs through process() already; the
+    # override just relaxes the signature so call sites can pass bare
+    # context keywords (job_id=..., node=...).
+    def debug(self, msg, *args, **kwargs):
+        self.log(logging.DEBUG, msg, *args, **kwargs)
+
+    def info(self, msg, *args, **kwargs):
+        self.log(logging.INFO, msg, *args, **kwargs)
+
+    def warning(self, msg, *args, **kwargs):
+        self.log(logging.WARNING, msg, *args, **kwargs)
+
+    def error(self, msg, *args, **kwargs):
+        self.log(logging.ERROR, msg, *args, **kwargs)
+
+    def log(self, level, msg, *args, **kwargs):
+        if self.logger.isEnabledFor(level):
+            msg, kwargs = self.process(msg, kwargs)
+            self.logger.log(level, msg, *args, **kwargs)
+
+
+def get_logger(component: str, **context) -> _ComponentLogger:
+    """A structured logger for ``component`` with optional bound context.
+
+    ``component`` is a dotted name under the ``rocket`` namespace
+    (``"cluster.coordinator"``, ``"session.local"``); bound context
+    (``node=3``) is stamped on every record the logger emits.
+    """
+    logger = logging.getLogger(f"{ROOT_LOGGER}.{component}")
+    context.setdefault("component", component)
+    return _ComponentLogger(logger, context)
+
+
+def configure_logging(
+    json_lines: bool = False,
+    level: Union[int, str] = logging.INFO,
+    stream: Optional[IO[str]] = None,
+) -> logging.Handler:
+    """Install a handler on the ``rocket`` namespace (idempotent).
+
+    Replaces any handler a previous call installed, so flipping between
+    JSON and text modes in one process is safe.  Returns the installed
+    handler (tests capture its stream).
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLinesFormatter() if json_lines else _TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler

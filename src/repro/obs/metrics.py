@@ -1,0 +1,210 @@
+"""Unified metrics registry: counters, gauges, histograms, one snapshot.
+
+Before this module, every layer of the runtime kept its own ad-hoc
+counters (``NodeStats`` cache counters, ``HopStats`` hop histograms,
+transport byte counts, ``JobAccounting``) that only met inside
+``RunStats.summary()`` string formatting.  The registry gives them a
+common vocabulary:
+
+- :class:`Counter` — monotonically increasing totals (cache hits,
+  steal grants, transport bytes);
+- :class:`Gauge` — last-written level readings (scheduler queue depth,
+  active jobs);
+- :class:`HistogramMetric` — observed distributions (grant latency,
+  job runtimes) with count/sum/min/max plus approximate quantiles from
+  a bounded sample reservoir (binned via :class:`repro.util.Histogram`).
+
+Metric names are dotted paths (``"cache.device.hits"``);
+:meth:`MetricsRegistry.snapshot` folds them into a nested, plain-data
+dict that ``json.dumps`` accepts directly — the shape served by
+``session.metrics()`` and, later, a daemon ``/metrics`` endpoint.
+
+All operations are thread-safe: session serve loops, pipeline worker
+threads and user threads may touch one registry concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+from repro.util.histogram import Histogram
+
+__all__ = ["Counter", "Gauge", "HistogramMetric", "MetricsRegistry"]
+
+#: Samples kept per histogram for quantile estimation; observations
+#: beyond the cap keep updating count/sum/min/max but stop growing the
+#: reservoir (earliest-N policy — grant latencies and job runtimes are
+#: not adversarially ordered, and the bound matters more than bias).
+RESERVOIR_SIZE = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> Union[int, float]:
+        """Current total, as an int when it is integral."""
+        v = self.value
+        return int(v) if float(v).is_integer() else v
+
+
+class Gauge:
+    """A level reading; holds the last value written."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def snapshot(self) -> Union[int, float]:
+        """Last written value, as an int when it is integral."""
+        v = self.value
+        return int(v) if float(v).is_integer() else v
+
+
+class HistogramMetric:
+    """An observed distribution: count/sum/min/max plus quantiles.
+
+    Exact for count, sum, min and max; quantiles are approximated from
+    a bounded reservoir binned through :class:`repro.util.Histogram`
+    (bin-centre resolution), which keeps the memory cost of a
+    long-running session constant.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        v = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if self.min is None or v < self.min:
+                self.min = v
+            if self.max is None or v > self.max:
+                self.max = v
+            if len(self._samples) < RESERVOIR_SIZE:
+                self._samples.append(v)
+
+    def snapshot(self) -> Dict[str, Union[int, float, None]]:
+        """Plain-data summary of the distribution."""
+        with self._lock:
+            count, total = self.count, self.total
+            lo, hi = self.min, self.max
+            samples = list(self._samples)
+        out: Dict[str, Union[int, float, None]] = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": lo,
+            "max": hi,
+        }
+        if samples:
+            hist = Histogram.from_samples(samples, bins=min(40, len(samples)))
+            for q in (0.5, 0.9, 0.99):
+                out[f"p{int(q * 100)}"] = hist.quantile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Name-addressed collection of counters, gauges and histograms.
+
+    Metrics are created on first use and keep their kind for life; the
+    dotted name decides where the value lands in :meth:`snapshot`'s
+    nested dict.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Union[Counter, Gauge, HistogramMetric]] = {}
+
+    def _get(self, name: str, kind: type):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, not a {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> HistogramMetric:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get(name, HistogramMetric)
+
+    # -- convenience write API ------------------------------------------
+
+    def inc(self, name: str, amount: Union[int, float] = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Union[int, float]) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Union[int, float]) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    # -- read API --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """All metrics as a nested, JSON-dumpable dict.
+
+        Dotted names become nesting levels: ``"cache.device.hits"``
+        lands at ``snapshot()["cache"]["device"]["hits"]``.  A name that
+        collides with a prefix of another (``"a.b"`` next to
+        ``"a.b.c"``) raises — it would make one value shadow a subtree.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
+        root: Dict[str, object] = {}
+        for name, metric in items:
+            parts = name.split(".")
+            node = root
+            for part in parts[:-1]:
+                child = node.setdefault(part, {})
+                if not isinstance(child, dict):
+                    raise ValueError(f"metric name {name!r} collides with a leaf value")
+                node = child
+            if isinstance(node.get(parts[-1]), dict):
+                raise ValueError(f"metric name {name!r} collides with a subtree")
+            node[parts[-1]] = metric.snapshot()
+        return root

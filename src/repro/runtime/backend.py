@@ -85,6 +85,24 @@ class BackendSession(ABC):
     def closed(self) -> bool:
         """True once :meth:`close` ran (or the session died)."""
 
+    def metrics(self) -> Dict[str, Any]:
+        """Snapshot of the session's metrics registry (nested dict).
+
+        Backends without a registry report an empty snapshot; the real
+        backends return the JSON-dumpable tree described in
+        :mod:`repro.obs.metrics`.
+        """
+        return {}
+
+    def profile(self):
+        """The session's merged multi-process profile trace.
+
+        ``None`` when the backend does not trace; the real backends
+        return a :class:`~repro.util.trace.ProfileTrace` (empty unless
+        the session ran with ``RocketConfig(profiling=True)``).
+        """
+        return None
+
     def __enter__(self) -> "BackendSession":
         return self
 
@@ -128,13 +146,19 @@ class RocketBackend(ABC):
         """
         return self.open_session()
 
-    def run(self, keys: Sequence[Hashable], pair_filter=None) -> ResultMatrix:
+    def run(
+        self, keys: Sequence[Hashable], pair_filter=None, profile: Optional[str] = None
+    ) -> ResultMatrix:
         """Execute one workload to completion (one-shot session).
 
         ``keys`` may be a plain key sequence — optionally restricted by
         the legacy ``pair_filter`` predicate — or any
         :class:`~repro.core.workload.Workload`.  Statistics land in
-        ``last_stats``.
+        ``last_stats``.  With ``profile=`` the session's merged
+        Chrome/Perfetto trace is written to that path before the
+        session closes (meaningful when the backend's config has
+        ``profiling=True`` — :meth:`Rocket.run <repro.core.rocket.Rocket.run>`
+        arranges that automatically).
 
         .. deprecated:: 1.2
            ``pair_filter=`` — pass
@@ -154,6 +178,13 @@ class RocketBackend(ABC):
         try:
             handle = session.submit(workload)
             result = handle.result()
+            if profile is not None:
+                trace = session.profile()
+                if trace is None:
+                    raise RuntimeError(
+                        f"backend {self.name!r} does not support profiling"
+                    )
+                trace.save(profile)
         finally:
             session.close()
         return result

@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import os
 import pickle
 import queue
 import threading
@@ -79,6 +80,8 @@ from repro.core.session import RunHandle, RunState
 from repro.core.workload import Workload
 from repro.data.filestore import FileStore
 from repro.model.perfmodel import StageCalibration
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.backend import BackendSession, RocketBackend
 from repro.runtime.localrocket import RocketConfig
 from repro.runtime.pernode import NodeEngine, NodePipeline, NodeStats
@@ -93,7 +96,7 @@ from repro.runtime.transport import (
 from repro.scheduling.quadtree import PairBlock, partition_blocks
 from repro.scheduling.workstealing import StealPolicy, VictimSelector, WorkerTopology
 from repro.util.rng import RngFactory
-from repro.util.trace import TraceRecorder
+from repro.util.trace import ProfileTrace, TraceRecorder
 
 __all__ = [
     "ClusterConfig",
@@ -312,6 +315,11 @@ class NodeJobState:
         self.message_kinds: Dict[str, int] = {k: 0 for k in MESSAGE_KINDS}
         self.remote_abort = False
         self.pipeline: Optional[NodePipeline] = None
+        #: The job's per-process trace recorder.  Disabled until the
+        #: runner thread installs the real (profiling-aware) one —
+        #: protocol messages can arrive before the pipeline exists, and
+        #: those early spans are simply not recorded.
+        self.trace = TraceRecorder(enabled=False)
         self.stopped = threading.Event()
         self.batcher = ResultBatcher(
             send_coordinator,
@@ -486,6 +494,10 @@ class NodeCommServer:
         with self._stats_lock:
             state.messages += 1
             state.message_kinds[kind] += 1
+        if state.trace.enabled:
+            # Sends are instants on the comm lane (zero-duration spans).
+            t = state.trace.now()
+            state.trace.record("NET", f"send:{kind}", t, t, state.job_id)
 
     def _send_node(self, state: Optional[NodeJobState], node: int, msg: Tuple) -> None:
         self._count_send(state, msg)
@@ -512,6 +524,8 @@ class NodeCommServer:
         """
         if state.stopped.is_set():
             return None
+        tracing = state.trace.enabled
+        t0 = state.trace.now() if tracing else 0.0
         mediator = mediator_of(idx, self.cluster.n_nodes)
         pend = self._register("fetch", state.job_id)
         self._send_node(
@@ -521,6 +535,8 @@ class NodeCommServer:
             self._pop_pending(pend.req_id)
             with self._stats_lock:
                 state.hops.record_miss(had_candidates=True)
+            if tracing:
+                state.trace.record("NET", "fetch:timeout", t0, state.trace.now(), state.job_id)
             return None
         if pend.result is None:  # woken by stop
             return None
@@ -531,19 +547,29 @@ class NodeCommServer:
             else:
                 state.hops.record_hit(hop)
                 state.bytes_received += wire
+        if tracing:
+            label = "fetch:hit" if payload is not None else "fetch:miss"
+            state.trace.record("NET", label, t0, state.trace.now(), state.job_id)
         return payload
 
     def global_steal(self, state: NodeJobState) -> Optional[PairBlock]:
         """Request one of this job's blocks from a remote node."""
         if state.stopped.is_set():
             return None
+        tracing = state.trace.enabled
+        t0 = state.trace.now() if tracing else 0.0
         pend = self._register("steal", state.job_id)
         self._send_coordinator(
             state, ("sreq", state.job_id, self.node_id, pend.req_id)
         )
         if not pend.event.wait(self.cluster.steal_timeout):
             self._pop_pending(pend.req_id)
+            if tracing:
+                state.trace.record("NET", "steal:timeout", t0, state.trace.now(), state.job_id)
             return None
+        if tracing:
+            label = "steal:grant" if pend.result is not None else "steal:miss"
+            state.trace.record("NET", label, t0, state.trace.now(), state.job_id)
         return pend.result
 
     # -- server side -----------------------------------------------------
@@ -743,6 +769,10 @@ def _run_node_job(
     multi = cluster.n_nodes > 1
     state = comm.begin_job(job_id, keys, max_inflight=max_inflight)
     try:
+        # Under profiling the job records into a node-local recorder
+        # (pipeline stages and, via ``state.trace``, protocol spans);
+        # its buffer ships to the coordinator with the final stats.
+        state.trace = TraceRecorder(enabled=config.profiling)
         pipeline = NodePipeline(
             app,
             store,
@@ -752,7 +782,8 @@ def _run_node_job(
             emit_result=state.batcher.emit,
             node_id=node_id,
             rngs=RngFactory(config.seed + 7919 * (node_id + 1) + 104729 * job_id),
-            trace=TraceRecorder(enabled=False),
+            trace=state.trace,
+            job_id=job_id,
             expected_pairs=None,  # the coordinator decides when the run ends
             remote_fetch=(
                 functools.partial(comm.remote_fetch, state)
@@ -1128,6 +1159,18 @@ class ClusterSession(BackendSession):
         self._lock = threading.Lock()
         self._closed = False
         self._fatal: Optional[str] = None
+        #: Session-lifetime observability.  The coordinator's own trace
+        #: holds scheduler-lane spans; node trace buffers (shipped in
+        #: the job-tagged stats reports) are kept as
+        #: ``(name, pid, origin, events)`` until profile() merges them.
+        self._trace = TraceRecorder(enabled=cfg.profiling)
+        self._metrics = MetricsRegistry()
+        self._job_records: Deque[Dict[str, object]] = deque(maxlen=64)
+        self._node_traces: Deque[Tuple[str, int, float, List]] = deque(maxlen=256)
+        self._log = get_logger("cluster.coordinator")
+        self._log.info(
+            "session open: %d node processes, transport=%s", cl.n_nodes, cl.transport
+        )
         try:
             for p in self._procs:
                 p.start()
@@ -1283,6 +1326,14 @@ class ClusterSession(BackendSession):
         self._active[job.job_id] = job
         self._scheduler.mark_fully_granted(handle)
         handle._mark_running(cancel_cb=None)  # cancellation is polled
+        acct = handle.accounting
+        if self._trace.enabled and acct is not None:
+            now = self._trace.now()
+            self._trace.record(
+                "scheduler", "queued",
+                max(0.0, now - acct.queued_seconds), now, job.job_id,
+            )
+        self._log.info("job dispatched", job_id=job.job_id)
         try:
             for node in range(self._runtime.cluster.n_nodes):
                 self._fabric.send_node(
@@ -1431,6 +1482,7 @@ class ClusterSession(BackendSession):
     def _mark_fatal(self, text: str) -> None:
         if self._fatal is None:
             self._fatal = text
+            self._log.error("session fatal: %s", text)
 
     def _fail_active(self, text: str) -> None:
         """Resolve every active job after the session died."""
@@ -1454,16 +1506,39 @@ class ClusterSession(BackendSession):
         handle = job.handle
         runtime_s = time.perf_counter() - job.started
 
+        if self._trace.enabled:
+            self._trace.record(
+                "scheduler", "run",
+                max(0.0, job.started - self._trace.origin),
+                self._trace.now(), job.job_id,
+            )
+            # Stash the node buffers (whatever arrived — failed jobs
+            # keep their partial reports) for profile() to merge.
+            for i in sorted(job.reports):
+                ns = job.reports[i].stats
+                if ns.trace_events:
+                    self._node_traces.append(
+                        (f"node{i}", ns.pid, ns.trace_origin, ns.trace_events)
+                    )
+        acct = handle.accounting
+        if acct is not None:
+            self._job_records.append(acct.to_dict())
+            self._metrics.observe("scheduler.grant_latency_seconds", acct.queued_seconds)
         if job.cancelled:
+            self._metrics.inc("jobs.cancelled")
+            self._log.info("job cancelled", job_id=job.job_id)
             handle._finish(RunState.CANCELLED)
             return
         if job.error is not None:
+            self._metrics.inc("jobs.failed")
+            self._log.warning("job failed: %s", job.error, job_id=job.job_id)
             handle._finish(
                 RunState.FAILED,
                 error=RuntimeError(f"cluster run failed: {job.error}"),
             )
             return
         if job.completed != job.total_pairs:
+            self._metrics.inc("jobs.failed")
             handle._finish(
                 RunState.FAILED,
                 error=RuntimeError(
@@ -1519,5 +1594,65 @@ class ClusterSession(BackendSession):
             predicted_runtime=model.predicted_runtime(max(1.0, reuse)),
             model_efficiency=model.efficiency(runtime_s) if runtime_s > 0 else 0.0,
         )
+        self._absorb_stats(stats)
+        self._log.info("job done", job_id=job.job_id)
         self._runtime.last_stats = stats
         handle._finish(RunState.DONE, stats=stats)
+
+    def _absorb_stats(self, stats: ClusterRunStats) -> None:
+        """Fold one finished job's counters into the session registry."""
+        m = self._metrics
+        m.inc("jobs.completed")
+        m.observe("jobs.runtime_seconds", stats.runtime)
+        m.inc("pairs.completed", stats.n_pairs)
+        m.inc("pipeline.loads", stats.loads)
+        local_steals = 0
+        for ns in stats.node_stats:
+            m.inc("pipeline.io_bytes", ns.io_bytes)
+            m.inc("pipeline.h2d_bytes", ns.h2d_bytes)
+            m.inc("pipeline.d2h_bytes", ns.d2h_bytes)
+            for level, counters in (
+                ("device", ns.device_counters),
+                ("host", ns.host_counters),
+            ):
+                m.inc(f"cache.{level}.hits", counters.hits + counters.hits_while_writing)
+                m.inc(f"cache.{level}.misses", counters.misses)
+                m.inc(f"cache.{level}.evictions", counters.evictions)
+            local_steals += ns.local_steals
+        m.inc("steal.local", local_steals)
+        m.inc("steal.remote_grants", stats.remote_steals)
+        m.inc("cache.distributed.hits", stats.hop_stats.total_hits)
+        m.inc(
+            "cache.distributed.misses",
+            stats.hop_stats.misses + stats.hop_stats.no_candidates,
+        )
+        m.inc("transport.bytes", stats.bytes_over_wire)
+        m.inc("transport.messages", stats.messages)
+        for kind, count in stats.message_kinds.items():
+            m.inc(f"transport.kind.{kind}", count)
+
+    # -- observability ---------------------------------------------------
+
+    def metrics(self) -> Dict[str, object]:
+        """Session-lifetime metrics snapshot (see :mod:`repro.obs.metrics`)."""
+        self._metrics.set_gauge("scheduler.queue_depth", self._scheduler.queued_count)
+        self._metrics.set_gauge("scheduler.active_jobs", self._scheduler.active_count)
+        snapshot = self._metrics.snapshot()
+        snapshot.setdefault("jobs", {})["recent"] = list(self._job_records)
+        return snapshot
+
+    def profile(self) -> ProfileTrace:
+        """Merged multi-process profile: coordinator + node buffers.
+
+        Node event times are rebased onto the coordinator recorder's
+        clock via the shipped origins (``perf_counter`` is a shared
+        monotonic clock across local processes), so one Perfetto
+        timeline shows the coordinator's scheduler lanes above every
+        node process's IO/CPU/device/NET lanes.
+        """
+        trace = ProfileTrace()
+        trace.add_process("coordinator", self._trace.events, pid=os.getpid())
+        session_origin = self._trace.origin
+        for name, pid, origin, events in list(self._node_traces):
+            trace.add_process(name, events, pid=pid, offset=origin - session_origin)
+        return trace

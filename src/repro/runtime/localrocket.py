@@ -12,10 +12,12 @@ global stealing, results written straight into an in-process
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.cache.policy import EvictionPolicy
 from repro.cache.slots import CacheCounters
@@ -25,11 +27,13 @@ from repro.core.session import RunHandle, RunState
 from repro.core.workload import Workload
 from repro.data.filestore import FileStore
 from repro.model.perfmodel import StageCalibration
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.backend import BackendSession, RocketBackend
 from repro.runtime.pernode import NodeEngine, NodePipeline
 from repro.scheduling.workstealing import StealOrder, StealPolicy
 from repro.util.rng import RngFactory
-from repro.util.trace import TraceRecorder
+from repro.util.trace import ProfileTrace, TraceRecorder
 
 __all__ = [
     "RocketConfig",
@@ -259,6 +263,15 @@ class LocalSession(BackendSession):
         self._closed = False
         self._lock = threading.Lock()
         self._active: List[_LocalJob] = []
+        #: Session-lifetime observability: the trace holds scheduler
+        #: spans plus every finished job's pipeline events (all on this
+        #: process's clock — per-job recorders share its origin), the
+        #: registry accumulates counters across jobs.
+        self._trace = TraceRecorder(enabled=cfg.profiling)
+        self._metrics = MetricsRegistry()
+        self._job_records: Deque[Dict[str, object]] = deque(maxlen=64)
+        self._log = get_logger("session.local")
+        self._log.info("session open", policy=self.policy.value)
         self._wake = threading.Event()
         self._thread = threading.Thread(
             target=self._serve, name="rocket-local-session", daemon=True
@@ -317,6 +330,7 @@ class LocalSession(BackendSession):
         self._wake.set()
         self._thread.join(timeout=30.0)
         self._engine.close()
+        self._log.info("session closed")
 
     # ------------------------------------------------------------------
 
@@ -403,6 +417,15 @@ class LocalSession(BackendSession):
                 scheduler.on_completed(_h)
                 self._wake.set()
 
+        acct = handle.accounting
+        job_id = acct.job_id if acct is not None else None
+        if self._trace.enabled and acct is not None:
+            # The job's admission-queue wait, as a scheduler-lane span
+            # ending now (adjacent to the spans its pipeline records).
+            now = self._trace.now()
+            self._trace.record(
+                "scheduler", "queued", max(0.0, now - acct.queued_seconds), now, job_id
+            )
         pipeline = NodePipeline(
             self._runtime.app,
             self._runtime.store,
@@ -411,6 +434,9 @@ class LocalSession(BackendSession):
             pair_filter=workload.pair_filter,
             emit_result=emit_result,
             rngs=RngFactory(cfg.seed),
+            # Per-job recorder on the session clock: stats keep a
+            # per-job trace while profile() merges without rebasing.
+            trace=TraceRecorder(enabled=cfg.profiling, origin=self._trace.origin),
             expected_pairs=workload.n_pairs,
             # FIFO hands the decomposition over wholesale (identical to
             # the pre-scheduler behaviour, including speed-proportional
@@ -419,7 +445,9 @@ class LocalSession(BackendSession):
             initial_blocks=workload.blocks() if fifo else (),
             engine=self._engine,
             max_inflight=handle.max_inflight,
+            job_id=job_id,
         )
+        self._log.debug("job admitted", job_id=job_id)
         job = _LocalJob(
             handle, pipeline, time.perf_counter() + cfg.watchdog_seconds
         )
@@ -453,12 +481,29 @@ class LocalSession(BackendSession):
             handle.accounting.pairs_completed = max(
                 handle.accounting.pairs_completed, handle.progress()[0]
             )
+        acct = handle.accounting
+        job_id = acct.job_id if acct is not None else None
+        if self._trace.enabled:
+            # The job's running span on the scheduler lane, then the
+            # pipeline's per-stage events (already on the session
+            # clock — the per-job recorder shares this origin).
+            self._trace.record(
+                "scheduler", "run",
+                max(0.0, job.started - self._trace.origin), self._trace.now(), job_id,
+            )
+            self._trace.extend(pipeline.trace.events)
+        if acct is not None:
+            self._job_records.append(acct.to_dict())
+            self._metrics.observe("scheduler.grant_latency_seconds", acct.queued_seconds)
+            self._metrics.inc("scheduler.blocks_granted", acct.blocks_granted)
         completed_all = (
             handle.progress()[0] == total_pairs
             and job.error is None
             and not pipeline.errors
         )
         if handle.cancel_requested and not completed_all:
+            self._metrics.inc("jobs.cancelled")
+            self._log.info("job cancelled", job_id=job_id)
             handle._finish(RunState.CANCELLED)
             return
         error = job.error
@@ -470,6 +515,8 @@ class LocalSession(BackendSession):
                 f"scheduler bug"
             )
         if error is not None:
+            self._metrics.inc("jobs.failed")
+            self._log.warning("job failed: %s", error, job_id=job_id)
             handle._finish(RunState.FAILED, error=error)
             return
 
@@ -501,5 +548,42 @@ class LocalSession(BackendSession):
             model_efficiency=model.efficiency(runtime) if runtime > 0 else 0.0,
             trace=pipeline.trace if cfg.profiling else None,
         )
+        self._absorb_stats(stats)
+        self._log.info("job done", job_id=job_id)
         self._runtime.last_stats = stats
         handle._finish(RunState.DONE, stats=stats)
+
+    def _absorb_stats(self, stats: RunStats) -> None:
+        """Fold one finished job's counters into the session registry."""
+        m = self._metrics
+        m.inc("jobs.completed")
+        m.observe("jobs.runtime_seconds", stats.runtime)
+        m.inc("pairs.completed", stats.n_pairs)
+        m.inc("pipeline.loads", stats.loads)
+        m.inc("pipeline.io_bytes", stats.io_bytes)
+        m.inc("pipeline.h2d_bytes", stats.h2d_bytes)
+        m.inc("pipeline.d2h_bytes", stats.d2h_bytes)
+        for level, counters in (
+            ("device", stats.device_counters),
+            ("host", stats.host_counters),
+        ):
+            m.inc(f"cache.{level}.hits", counters.hits + counters.hits_while_writing)
+            m.inc(f"cache.{level}.misses", counters.misses)
+            m.inc(f"cache.{level}.evictions", counters.evictions)
+        m.inc("steal.local", stats.local_steals)
+
+    # -- observability ---------------------------------------------------
+
+    def metrics(self) -> Dict[str, object]:
+        """Session-lifetime metrics snapshot (see :mod:`repro.obs.metrics`)."""
+        self._metrics.set_gauge("scheduler.queue_depth", self._scheduler.queued_count)
+        self._metrics.set_gauge("scheduler.active_jobs", self._scheduler.active_count)
+        snapshot = self._metrics.snapshot()
+        snapshot.setdefault("jobs", {})["recent"] = list(self._job_records)
+        return snapshot
+
+    def profile(self) -> ProfileTrace:
+        """This session's profile (single process: one pid in the merge)."""
+        trace = ProfileTrace()
+        trace.add_process("rocket-local", self._trace.events, pid=os.getpid())
+        return trace

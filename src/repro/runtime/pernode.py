@@ -47,6 +47,7 @@ construction and subtracted in :meth:`NodePipeline.stats`.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -70,7 +71,7 @@ from repro.scheduling.workstealing import (
     WorkerTopology,
 )
 from repro.util.rng import RngFactory
-from repro.util.trace import TraceRecorder
+from repro.util.trace import TraceEvent, TraceRecorder
 
 __all__ = ["NodeEngine", "NodeStats", "NodePipeline"]
 
@@ -101,6 +102,15 @@ class NodeStats:
     aggregate_speed: float = 1.0
     #: Online-calibrated stage costs (reference-speed normalised).
     calibration: StageCalibration = field(default_factory=StageCalibration)
+    #: OS pid of the recording process (distinguishes node processes in
+    #: the merged multi-process profile).
+    pid: int = 0
+    #: Absolute ``perf_counter`` origin of the shipped trace buffer;
+    #: the coordinator rebases event times with it.
+    trace_origin: float = 0.0
+    #: The node-local trace buffer for this run (empty unless the run
+    #: was profiled); rides to the coordinator in the ``stats`` message.
+    trace_events: List[TraceEvent] = field(default_factory=list)
 
 
 class _DeviceState:
@@ -263,6 +273,7 @@ class NodePipeline:
         initial_blocks: Sequence[PairBlock] = (),
         engine: Optional[NodeEngine] = None,
         max_inflight: Optional[int] = None,
+        job_id: Optional[int] = None,
     ) -> None:
         cfg = config
         self.app = app
@@ -286,7 +297,12 @@ class NodePipeline:
         n = len(self.keys)
         rngs = rngs if rngs is not None else RngFactory(cfg.seed)
         self.trace = trace if trace is not None else TraceRecorder(enabled=cfg.profiling)
-        self._t_origin = time.perf_counter()
+        #: Spans this pipeline records carry the owning job's id, so a
+        #: shared recorder (FAIR sessions) stays attributable per job.
+        self.job_id = job_id
+        # Event times are relative to the recorder's origin — a shared
+        # recorder keeps one clock across all pipelines feeding it.
+        self._t_origin = self.trace.origin
 
         self._private_engine = engine is None
         if engine is None:
@@ -497,6 +513,9 @@ class NodePipeline:
             d2h_bytes=d2h_bytes,
             aggregate_speed=float(sum(self._speeds)),
             calibration=calibration,
+            pid=os.getpid(),
+            trace_origin=self.trace.origin,
+            trace_events=self.trace.events if self.trace.enabled else [],
         )
 
     # -- services for the cluster comm layer -----------------------------
@@ -644,24 +663,28 @@ class NodePipeline:
             return out, time.perf_counter() - t
 
         try:
-            t0 = self._now()
+            tracing = self.trace.enabled
+            t0 = self._now() if tracing else 0.0
             blob, io_duration = self._io_pool.submit(
                 timed, self.store.read, self.app.file_name(key)
             ).result()
-            self.trace.record("IO", "io", t0, self._now())
+            if tracing:
+                self.trace.record("IO", "io", t0, self._now(), self.job_id)
 
-            t0 = self._now()
+            t0 = self._now() if tracing else 0.0
             parsed, parse_duration = self._cpu_pool.submit(
                 timed, self.app.parse, key, blob
             ).result()
-            self.trace.record("CPU", "parse", t0, self._now())
+            if tracing:
+                self.trace.record("CPU", "parse", t0, self._now(), self.job_id)
 
             dev_parsed = st.device.h2d(parsed)
-            t0 = self._now()
+            t0 = self._now() if tracing else 0.0
             dev_item, pre_duration = st.device.run_kernel_timed(
                 self.app.preprocess, key, dev_parsed
             )
-            self.trace.record(st.device.name, "preprocess", t0, self._now())
+            if tracing:
+                self.trace.record(st.device.name, "preprocess", t0, self._now(), self.job_id)
 
             with self.counters_lock:
                 self.counters["loads"] += 1
@@ -704,11 +727,13 @@ class NodePipeline:
                 self._release_device_item(st, slot_i)
                 raise
             try:
-                t0 = self._now()
+                tracing = self.trace.enabled
+                t0 = self._now() if tracing else 0.0
                 raw, cmp_duration = st.device.run_kernel_timed(
                     self.app.compare, keys[i], slot_i.payload, keys[j], slot_j.payload
                 )
-                self.trace.record(st.device.name, "compare", t0, self._now())
+                if tracing:
+                    self.trace.record(st.device.name, "compare", t0, self._now(), self.job_id)
             finally:
                 self._release_device_item(st, slot_i)
                 self._release_device_item(st, slot_j)
@@ -716,6 +741,8 @@ class NodePipeline:
             t0 = self._now()
             value = self.app.postprocess(keys[i], keys[j], raw_host)
             post_duration = self._now() - t0
+            if tracing:
+                self.trace.record("CPU", "postprocess", t0, t0 + post_duration, self.job_id)
             # A job that limped past the kernel while the run was being
             # aborted (cancellation) must not publish its pair: the
             # consumer of this run's results is already gone.

@@ -8,7 +8,7 @@ without import cycles.
 from repro.util.rng import RngFactory, seeded_rng, spawn_seeds
 from repro.util.histogram import Histogram, ascii_histogram
 from repro.util.rolling import RollingAverage, ThroughputSeries
-from repro.util.trace import TraceEvent, TraceRecorder, lane_summary
+from repro.util.trace import ProfileTrace, TraceEvent, TraceRecorder, lane_summary
 from repro.util.stats import OnlineStats, summarize, lognormal_params
 from repro.util.tables import format_table, format_row
 
@@ -22,6 +22,7 @@ __all__ = [
     "ThroughputSeries",
     "TraceEvent",
     "TraceRecorder",
+    "ProfileTrace",
     "lane_summary",
     "OnlineStats",
     "summarize",
