@@ -24,7 +24,7 @@ from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime
 from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
 from repro.util.tables import format_table
 
-from _common import print_block
+from _common import print_block, write_bench_json
 
 N_IMAGES = 12
 CONFIG = dict(
@@ -86,6 +86,24 @@ def test_cluster_scaling_pairs_per_second(once):
             rows,
             title=f"forensics, {N_IMAGES} items, {baseline.n_pairs} pairs",
         ),
+    )
+
+    write_bench_json(
+        "cluster_runtime",
+        {
+            "local_pairs_per_second": local.last_stats.throughput,
+            "cluster": {
+                str(n_nodes): {
+                    "pairs_per_second": stats.throughput,
+                    "loads": stats.loads,
+                    "remote_hits": stats.hop_stats.total_hits,
+                    "remote_requests": stats.hop_stats.requests,
+                    "bytes_over_wire": stats.bytes_over_wire,
+                    "remote_steals": stats.remote_steals,
+                }
+                for n_nodes, (_, stats) in sorted(runs.items())
+            },
+        },
     )
 
     multi = runs[4][1]

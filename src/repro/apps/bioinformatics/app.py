@@ -22,10 +22,10 @@ import numpy as np
 
 from repro.apps.bioinformatics.composition import (
     composition_vector,
-    cv_distance,
+    cv_distance_block,
+    cv_view,
     encode_proteome,
     pack_cv,
-    unpack_cv,
 )
 from repro.core.api import Application
 from repro.data.formats import decode_fasta
@@ -55,9 +55,37 @@ class BioinformaticsApplication(Application[str, float]):
         indices, values = composition_vector(parsed.astype(np.int16), k=self.k)
         return pack_cv(indices, values)
 
-    def compare(self, key_a: str, item_a: np.ndarray, key_b: str, item_b: np.ndarray) -> np.ndarray:
-        """Distance ``(1 - C) / 2`` between two composition vectors."""
-        return np.asarray(cv_distance(unpack_cv(item_a), unpack_cv(item_b)))
+    def item_view(self, key: str, item: np.ndarray):
+        """Pre-unpack the packed CV into ``(idx, val, norm)`` once per item.
+
+        The runtime caches this per resident slot, so the index
+        ``astype`` and norm of :func:`~repro.apps.bioinformatics.composition.cv_view`
+        are paid per item, not per pair.
+        """
+        return cv_view(item)
+
+    @staticmethod
+    def _as_view(item):
+        """Accept both a pre-unpacked view and a raw packed CV array."""
+        return item if isinstance(item, tuple) else cv_view(item)
+
+    def compare(self, key_a: str, item_a, key_b: str, item_b) -> np.ndarray:
+        """Distance ``(1 - C) / 2`` between two composition vectors.
+
+        Evaluated through the same kernel as :meth:`compare_block` with
+        a one-pair block, so a pair's bits do not depend on whether the
+        runtime dispatched it batched or per-pair — cross-backend
+        result matrices stay bit-identical.
+        """
+        view_a = self._as_view(item_a)
+        view_b = self._as_view(item_b)
+        return np.asarray(cv_distance_block([view_a], [view_b])[0])
+
+    def compare_block(self, keys_a, items_a, keys_b, items_b) -> np.ndarray:
+        """Batched sparse-intersection distances — one launch per block."""
+        views_a = [self._as_view(item) for item in items_a]
+        views_b = [self._as_view(item) for item in items_b]
+        return cv_distance_block(views_a, views_b)
 
     def postprocess(self, key_a: str, key_b: str, raw_result: np.ndarray) -> float:
         """Return the distance as a plain float."""

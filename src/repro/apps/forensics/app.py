@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.forensics.prnu import extract_prnu, ncc
+from repro.apps.forensics.prnu import extract_prnu, ncc_pairs
 from repro.core.api import Application
 from repro.data.formats import decode_image
 
@@ -46,8 +46,27 @@ class ForensicsApplication(Application[str, float]):
         return extract_prnu(parsed, window=self.denoise_window)
 
     def compare(self, key_a: str, item_a: np.ndarray, key_b: str, item_b: np.ndarray) -> np.ndarray:
-        """Normalized cross-correlation between two residuals."""
-        return np.asarray(ncc(item_a, item_b))
+        """Normalized cross-correlation between two residuals.
+
+        Evaluated through the same kernel as :meth:`compare_block` with
+        a one-pair block, so a pair's bits do not depend on whether the
+        runtime dispatched it batched or per-pair — cross-backend
+        result matrices stay bit-identical.
+        """
+        if item_a.shape != item_b.shape:
+            raise ValueError(f"shape mismatch: {item_a.shape} vs {item_b.shape}")
+        return np.asarray(ncc_pairs([item_a], [item_b])[0])
+
+    def compare_block(self, keys_a, items_a, keys_b, items_b) -> np.ndarray:
+        """Batched NCC over a block of pairs — one Gram launch per block.
+
+        A block is a rectangle of the comparison matrix, so its pairs
+        repeat items; :func:`~repro.apps.forensics.prnu.ncc_pairs`
+        deduplicates the cached residual arrays by identity and gets
+        every needed dot product from a single Gram-matrix contraction
+        over the unique items.
+        """
+        return ncc_pairs(items_a, items_b)
 
     def postprocess(self, key_a: str, key_b: str, raw_result: np.ndarray) -> float:
         """Return the correlation score as a plain float."""

@@ -53,6 +53,11 @@ class Slot:
     state: SlotState = SlotState.WRITE
     readers: int = 0
     payload: Any = None
+    #: Kernel-ready view derived from ``payload`` (e.g. an unpacked
+    #: sparse CV), computed lazily by the runtime on first use and valid
+    #: for the payload's residency — cleared whenever the slot is freed
+    #: or rebound, so a pinned reader never sees a stale view.
+    derived: Any = None
 
     @property
     def pinned(self) -> bool:
@@ -188,6 +193,7 @@ class SlotCache:
         slot.state = SlotState.WRITE
         slot.readers = 0
         slot.payload = None
+        slot.derived = None
         self._by_key[key] = slot
         self._order[key] = slot
         return slot
@@ -238,6 +244,7 @@ class SlotCache:
         del self._order[slot.key]
         slot.key = None
         slot.payload = None
+        slot.derived = None
         slot.readers = 0
         slot.state = SlotState.WRITE
         self._free.append(slot)

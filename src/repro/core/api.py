@@ -15,7 +15,7 @@ assumed deterministic — that is what makes caching sound).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Generic, Hashable, TypeVar
+from typing import Any, Generic, Hashable, List, Sequence, TypeVar
 
 import numpy as np
 
@@ -72,6 +72,54 @@ class Application(ABC, Generic[K, R]):
         applications have a negligible post-processing stage).
         """
         return raw_result  # type: ignore[return-value]
+
+    # -- batched comparison (optional fast path) --------------------------
+
+    def item_view(self, key: K, item: np.ndarray) -> Any:
+        """Kernel-ready view of one cached item (default: the item itself).
+
+        The runtime calls this once per *resident cache slot* and feeds
+        the result to :meth:`compare` / :meth:`compare_block`, so any
+        per-item decode work (e.g. unpacking a sparse payload) is paid
+        once per item instead of once per pair.  The cached payload
+        stays an ndarray; only the comparison stage sees the view.
+        """
+        return item
+
+    def compare_block(
+        self,
+        keys_a: Sequence[K],
+        items_a: Sequence[Any],
+        keys_b: Sequence[K],
+        items_b: Sequence[Any],
+    ) -> np.ndarray:
+        """GPU stage: compare ``n`` pre-processed pairs in one kernel.
+
+        ``items_*`` hold :meth:`item_view` results, one entry per pair
+        (shared items repeat the same view object).  Returns an array
+        whose leading axis indexes the pairs: ``result[k]`` is what
+        :meth:`compare` would have returned for pair ``k`` (bit-identical
+        or within the documented tolerance of the vectorized kernel).
+
+        The default loops :meth:`compare` — the per-pair fallback.  The
+        runtime only takes the batched dispatch path when a subclass
+        overrides this method (see :attr:`supports_compare_block`).
+        """
+        rows: List[np.ndarray] = [
+            np.asarray(self.compare(ka, ia, kb, ib))
+            for ka, ia, kb, ib in zip(keys_a, items_a, keys_b, items_b)
+        ]
+        return np.stack(rows) if rows else np.zeros(0)
+
+    @property
+    def supports_compare_block(self) -> bool:
+        """True when this class overrides :meth:`compare_block`."""
+        return type(self).compare_block is not Application.compare_block
+
+    @property
+    def supports_item_view(self) -> bool:
+        """True when this class overrides :meth:`item_view`."""
+        return type(self).item_view is not Application.item_view
 
     # -- optional metadata ----------------------------------------------
 

@@ -39,8 +39,10 @@ cost; with ``spawn`` they must be picklable.
 The runtime is **session-oriented and multi-job**: worker processes
 are spawned once per :class:`ClusterSession` and then serve *many
 concurrently active jobs*.  Each job is dispatched over the transport
-as a ``("job", job_id, keys, pair_filter, blocks, max_inflight)``
-message; the node runs it on its own
+as a ``("job", job_id, packed_spec, max_inflight)`` message, where the
+spec ``(keys, pair_filter, blocks)`` rides inline on the queue
+transport and as a shared-segment descriptor on shm; the node runs it
+on its own
 :class:`~repro.runtime.pernode.NodePipeline` borrowed from the
 persistent :class:`~repro.runtime.pernode.NodeEngine`, so several
 jobs' pair streams interleave on the shared devices and caches while
@@ -303,6 +305,7 @@ class NodeJobState:
         node_id: int,
         send_coordinator,
         max_inflight: Optional[int] = None,
+        pack_result_block=None,
     ) -> None:
         self.job_id = job_id
         self.keys = list(keys)
@@ -327,6 +330,7 @@ class NodeJobState:
             cluster.result_batch,
             max_delay=cluster.poll_interval,
             job_id=job_id,
+            pack=pack_result_block,
         )
 
 
@@ -425,6 +429,10 @@ class NodeCommServer:
             self.node_id,
             functools.partial(self._send_coordinator_for, job_id),
             max_inflight=max_inflight,
+            # Result blocks leave through the transport's packer, so a
+            # zero-copy transport ships descriptors instead of pickled
+            # triple tuples.
+            pack_result_block=self.transport.pack_result_block,
         )
         with self._jobs_lock:
             self._jobs_state[job_id] = state
@@ -578,7 +586,13 @@ class NodeCommServer:
         """Process one protocol message (mediator / candidate / reply)."""
         kind = msg[0]
         if kind == "job":
-            _, job_id, keys, pair_filter, blocks, max_inflight = msg
+            if len(msg) == 4:
+                # Packed hand-out: the spec travels out-of-band (or
+                # inline, per the fabric) and unpacks on this side.
+                _, job_id, packed, max_inflight = msg
+                keys, pair_filter, blocks = self.transport.unpack_job_payload(packed)
+            else:  # legacy inline 6-tuple (tests, older coordinators)
+                _, job_id, keys, pair_filter, blocks, max_inflight = msg
             self._jobs.put((job_id, keys, pair_filter, blocks, max_inflight))
             return
         if kind == "shutdown":
@@ -1336,16 +1350,14 @@ class ClusterSession(BackendSession):
         self._log.info("job dispatched", job_id=job.job_id)
         try:
             for node in range(self._runtime.cluster.n_nodes):
+                # Each node's spec goes through the fabric's dispatch
+                # plane: inline on the queue transport, a shared-segment
+                # descriptor on shm — the message stays tiny either way.
+                packed = self._fabric.pack_job_payload(
+                    (job.keys, job.pair_filter, job.shares[node])
+                )
                 self._fabric.send_node(
-                    node,
-                    (
-                        "job",
-                        job.job_id,
-                        job.keys,
-                        job.pair_filter,
-                        job.shares[node],
-                        handle.max_inflight,
-                    ),
+                    node, ("job", job.job_id, packed, handle.max_inflight)
                 )
         except BaseException:
             # Partial dispatch: abort whatever did go out, then surface
@@ -1359,6 +1371,7 @@ class ClusterSession(BackendSession):
         kind = msg[0]
         if kind == "results":
             _, node, job_id, block = msg
+            block = self._fabric.decode_result_block(block)
             job = self._active.get(job_id)
             if job is None:
                 return  # stragglers of a finalized job
@@ -1405,6 +1418,10 @@ class ClusterSession(BackendSession):
             job = self._active.get(job_id)
             if job is not None:
                 job.reports[node] = report
+        elif kind == "pfree":
+            # A node finished reading a job dispatch payload; return the
+            # coordinator-segment slot to the fabric's pool.
+            self._fabric.handle_free(msg)
         else:
             raise AssertionError(f"unknown coordinator message {kind!r}")
 

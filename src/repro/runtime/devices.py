@@ -44,6 +44,8 @@ class VirtualDevice:
         # Counters for the run report.
         self.kernel_seconds = 0.0
         self.kernel_count = 0
+        self.batched_kernel_count = 0
+        self.batched_pairs = 0
         self.h2d_bytes = 0
         self.d2h_bytes = 0
 
@@ -89,30 +91,63 @@ class VirtualDevice:
         """
         if self._closed:
             raise RuntimeError(f"device {self.name!r} is shut down")
+        return self._executor.submit(self._invoke, fn, buffers_and_args, 0).result()
 
-        def _invoke() -> "tuple[DeviceBuffer, float]":
-            args = []
-            for arg in buffers_and_args:
-                if isinstance(arg, DeviceBuffer):
-                    arg.check_device(self.name)
-                    args.append(arg.data)
-                else:
-                    args.append(arg)
-            t0 = time.perf_counter()
-            result = fn(*args)
-            elapsed = time.perf_counter() - t0
-            if self.speed_factor < 1.0:
-                pad = elapsed * (1.0 / self.speed_factor - 1.0)
-                time.sleep(pad)
-                elapsed += pad
-            with self._lock:
-                self.kernel_seconds += elapsed
-                self.kernel_count += 1
-            if not isinstance(result, np.ndarray):
-                result = np.asarray(result)
-            return DeviceBuffer(result, self.name), elapsed
+    def run_kernel_batched(
+        self, fn: Callable[..., np.ndarray], n_pairs: int, *buffers_and_args: Any
+    ) -> DeviceBuffer:
+        """Execute one *batched* kernel computing ``n_pairs`` pairs."""
+        return self.run_kernel_batched_timed(fn, n_pairs, *buffers_and_args)[0]
 
-        return self._executor.submit(_invoke).result()
+    def run_kernel_batched_timed(
+        self, fn: Callable[..., np.ndarray], n_pairs: int, *buffers_and_args: Any
+    ) -> "tuple[DeviceBuffer, float]":
+        """:meth:`run_kernel_timed` for a batched-pair kernel.
+
+        Differences from the per-pair entry point: :class:`DeviceBuffer`
+        elements *inside* list/tuple arguments are ownership-checked and
+        unwrapped too (a batch argument is a sequence of slot views),
+        and the launch is counted once in ``batched_kernel_count`` /
+        ``n_pairs`` times in ``batched_pairs`` — the elapsed time is the
+        whole batch's, so callers amortise it per pair for calibration.
+        """
+        if n_pairs < 1:
+            raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+        if self._closed:
+            raise RuntimeError(f"device {self.name!r} is shut down")
+        return self._executor.submit(self._invoke, fn, buffers_and_args, n_pairs).result()
+
+    def _unwrap(self, arg: Any) -> Any:
+        if isinstance(arg, DeviceBuffer):
+            arg.check_device(self.name)
+            return arg.data
+        if isinstance(arg, (list, tuple)) and any(
+            isinstance(item, DeviceBuffer) for item in arg
+        ):
+            return [self._unwrap(item) for item in arg]
+        return arg
+
+    def _invoke(
+        self, fn: Callable[..., np.ndarray], buffers_and_args: tuple, n_pairs: int
+    ) -> "tuple[DeviceBuffer, float]":
+        """Kernel-thread body shared by the per-pair and batched paths."""
+        args = [self._unwrap(arg) for arg in buffers_and_args]
+        t0 = time.perf_counter()
+        result = fn(*args)
+        elapsed = time.perf_counter() - t0
+        if self.speed_factor < 1.0:
+            pad = elapsed * (1.0 / self.speed_factor - 1.0)
+            time.sleep(pad)
+            elapsed += pad
+        with self._lock:
+            self.kernel_seconds += elapsed
+            self.kernel_count += 1
+            if n_pairs:
+                self.batched_kernel_count += 1
+                self.batched_pairs += n_pairs
+        if not isinstance(result, np.ndarray):
+            result = np.asarray(result)
+        return DeviceBuffer(result, self.name), elapsed
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -53,6 +53,11 @@ class RocketConfig:
     host_cache_slots: int = 256
     concurrent_jobs: int = 8
     leaf_size: int = 4
+    #: Pairs per batched kernel launch for apps with ``compare_block``:
+    #: an int fixes it, ``"auto"`` sizes it from the online-calibrated
+    #: per-pair compare time (see ``StageCalibration.auto_grain``).
+    #: Apps without ``compare_block`` ignore it (per-pair jobs).
+    grain: "int | str" = "auto"
     cpu_workers: int = 4
     #: Per-device kernel speed factors (< 1 emulates a slower GPU);
     #: length must equal ``n_devices`` when given.
@@ -76,6 +81,11 @@ class RocketConfig:
             raise ValueError(f"cpu_workers must be >= 1, got {self.cpu_workers}")
         if self.leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1, got {self.leaf_size}")
+        if isinstance(self.grain, str):
+            if self.grain != "auto":
+                raise ValueError(f'grain must be an int or "auto", got {self.grain!r}')
+        elif self.grain < 1:
+            raise ValueError(f"grain must be >= 1, got {self.grain}")
         if self.device_speed_factors is not None:
             if len(self.device_speed_factors) != self.n_devices:
                 raise ValueError(
@@ -521,6 +531,14 @@ class LocalSession(BackendSession):
             return
 
         ns = pipeline.stats()
+        if isinstance(cfg.grain, str) and self._runtime.app.supports_compare_block:
+            # grain="auto": the finished job's calibrated per-pair
+            # compare time re-sizes the scheduler's grant quanta, so the
+            # next submission's grain_blocks() match the batched kernels.
+            auto = ns.calibration.auto_grain(lo=cfg.leaf_size)
+            if auto is not None:
+                self._scheduler.grain_pairs = auto
+                self._scheduler.window_pairs = max(3 * auto, self._scheduler.window_pairs)
         reuse = ns.loads / n
         model = ns.calibration.model(
             n_items=n, aggregate_speed=cfg.aggregate_speed, cpu_cores=cfg.cpu_workers

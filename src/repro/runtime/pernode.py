@@ -199,6 +199,12 @@ class NodeEngine:
         self.job_pool = ThreadPoolExecutor(
             max_workers=max(2, limit * cfg.n_devices), thread_name_prefix=f"job{node_id}"
         )
+        #: Stage costs accumulated across every job run on this engine;
+        #: pipelines fold their per-run measurements in on close so the
+        #: *next* job can size its batch grain from day one instead of
+        #: re-calibrating from scratch.
+        self.calibration = StageCalibration()
+        self.calibration_lock = threading.Lock()
         self._closed = False
 
     def snapshot(self) -> Dict[str, Any]:
@@ -360,6 +366,14 @@ class NodePipeline:
         self.counters_lock = threading.Lock()
         #: Live per-stage cost measurements (guarded by counters_lock).
         self.calibration = StageCalibration()
+        self._calibration_folded = False
+        #: Batched fast path: apps overriding ``compare_block`` get
+        #: whole leaf blocks per kernel launch instead of one pair each.
+        self._batched = app.supports_compare_block
+        self._has_item_view = app.supports_item_view
+        #: Resolved batch grain per device index (filled lazily once the
+        #: calibration has enough compare samples to trust).
+        self._grain_cache: Dict[int, int] = {}
         self._speeds = speeds
         self.done = threading.Event()
         self.aborted = threading.Event()
@@ -438,6 +452,13 @@ class NodePipeline:
         if self._closed:
             return
         self._closed = True
+        if not self._calibration_folded:
+            self._calibration_folded = True
+            snap = StageCalibration()
+            with self.counters_lock:
+                snap.merge(self.calibration)
+            with self.engine.calibration_lock:
+                self.engine.calibration.merge(snap)
         if self._private_engine:
             self.engine.close()
 
@@ -599,6 +620,80 @@ class NodePipeline:
         with self.counters_lock:
             self.counters["held_pins"] -= 1
 
+    def _slot_view(self, slot: Slot) -> Any:
+        """Kernel-ready view of a pinned slot's payload.
+
+        Apps without :meth:`~repro.core.api.Application.item_view` get
+        the raw :class:`~repro.core.buffers.DeviceBuffer` (preserving
+        the device-ownership check in the kernel launch).  Apps with
+        one get the derived view, computed once per residency and
+        cached on the slot — e.g. the bio app unpacks its sparse CV
+        here instead of inside every comparison.
+        """
+        if not self._has_item_view:
+            return slot.payload
+        view = slot.derived
+        if view is None:
+            # Benign race: concurrent pair jobs may both derive the
+            # same (deterministic) view; last write wins.
+            view = self.app.item_view(slot.key, slot.payload.data)
+            slot.derived = view
+        return view
+
+    def _try_acquire_device_item(self, st: _DeviceState, idx: int) -> Optional[Slot]:
+        """Non-blocking :meth:`_acquire_device_item`; None if it would wait.
+
+        A batch job pins several items at once, which is only safe if
+        it never *holds* pins while waiting on a device slot (the
+        hold-and-wait that :func:`repro.cache.policy.safe_job_limit`'s
+        deadlock argument rules out for the two-pin protocol).  So the
+        batch path acquires all-or-nothing: an item being written by
+        another job, or no evictable slot, reports failure instead of
+        blocking.  Filling a freshly reserved slot is fine — the load
+        pipeline waits only on host-cache slots, which always progress.
+        """
+        with st.cond:
+            slot = st.cache.lookup(self.keys[idx])
+            if slot is not None and slot.state is SlotState.READ:
+                st.cache.pin(slot)
+                with self.counters_lock:
+                    self.counters["held_pins"] += 1
+                return slot
+            if slot is not None:
+                return None  # WRITE in progress elsewhere: would block
+            wslot = st.cache.reserve(self.keys[idx])
+            if wslot is None:
+                return None  # nothing evictable: would block
+        try:
+            self._fill_device(st, idx, wslot)
+        except BaseException:
+            with st.cond:
+                st.cache.abandon(wslot)
+                st.cond.notify_all()
+            raise
+        with self.counters_lock:
+            self.counters["held_pins"] += 1
+        return wslot  # published with one reader pin for us
+
+    def _acquire_block_slots(
+        self, st: _DeviceState, indices: Sequence[int]
+    ) -> Optional[Dict[int, Slot]]:
+        """Pin every item of a batch, or nothing (None) on any failure."""
+        slots: Dict[int, Slot] = {}
+        try:
+            for idx in indices:
+                slot = self._try_acquire_device_item(st, idx)
+                if slot is None:
+                    for held in slots.values():
+                        self._release_device_item(st, held)
+                    return None
+                slots[idx] = slot
+        except BaseException:
+            for held in slots.values():
+                self._release_device_item(st, held)
+            raise
+        return slots
+
     def _fill_device(self, st: _DeviceState, idx: int, wslot: Slot) -> None:
         """Fill a reserved device slot from host cache, a peer, or a load."""
         key = self.keys[idx]
@@ -713,61 +808,134 @@ class NodePipeline:
 
     # -- job execution ---------------------------------------------------
 
+    def _execute_pair(self, st: _DeviceState, i: int, j: int) -> None:
+        """One pair f(x, y): acquire, compare, D2H, postprocess, emit."""
+        keys = self.keys
+        slot_i = self._acquire_device_item(st, i)
+        try:
+            slot_j = self._acquire_device_item(st, j)
+        except BaseException:
+            # The first item's pin must not leak when the second
+            # acquisition fails (abort, load error): a stuck pin
+            # would wedge eviction for every surviving job.
+            self._release_device_item(st, slot_i)
+            raise
+        tracing = self.trace.enabled
+        try:
+            t0 = self._now() if tracing else 0.0
+            raw, cmp_duration = st.device.run_kernel_timed(
+                self.app.compare,
+                keys[i], self._slot_view(slot_i), keys[j], self._slot_view(slot_j),
+            )
+            if tracing:
+                self.trace.record(st.device.name, "compare", t0, self._now(), self.job_id)
+        finally:
+            self._release_device_item(st, slot_i)
+            self._release_device_item(st, slot_j)
+        raw_host = st.device.d2h(raw)
+        t0 = self._now()
+        value = self.app.postprocess(keys[i], keys[j], raw_host)
+        post_duration = self._now() - t0
+        if tracing:
+            self.trace.record("CPU", "postprocess", t0, t0 + post_duration, self.job_id)
+        # A job that limped past the kernel while the run was being
+        # aborted (cancellation) must not publish its pair: the
+        # consumer of this run's results is already gone.
+        if not self.aborted.is_set():
+            self.emit_result(i, j, value)
+        with st.pairs_lock:
+            st.pairs_done += 1
+        with self.counters_lock:
+            self.calibration.record_compare(cmp_duration, st.device.speed_factor)
+            self.calibration.record_postprocess(post_duration)
+
+    def _finish_pairs(self, st: _DeviceState, n: int) -> None:
+        """Completion accounting for ``n`` claimed pair submissions."""
+        for _ in range(n):
+            st.admission.release()
+        with self.counters_lock:
+            self.counters["completed"] += n
+            finished = (
+                self.expected_pairs is not None
+                and self.counters["completed"] >= self.expected_pairs
+            )
+        if finished:
+            self._signal_done()
+        else:
+            with self.work_cond:
+                self.work_cond.notify_all()
+
     def _run_job(self, d: int, i: int, j: int) -> None:
         st = self.states[d]
-        keys = self.keys
         try:
-            slot_i = self._acquire_device_item(st, i)
+            self._execute_pair(st, i, j)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self.fail(exc)
+        finally:
+            self._finish_pairs(st, 1)
+
+    def _run_block(self, d: int, pairs: Sequence["tuple[int, int]"]) -> None:
+        """Run a claimed batch of pairs through one ``compare_block``.
+
+        The batch pins its unique items all-or-nothing (see
+        :meth:`_try_acquire_device_item`); under cache pressure it
+        degrades to the classic sequential two-pin protocol, which is
+        deadlock-safe by the ``safe_job_limit`` argument.  Per-pair
+        semantics are preserved: postprocess runs (and is timed) per
+        pair, cancellation is re-checked before each emit, and the
+        batch kernel's time is amortised into per-pair ``t_cmp``.
+        """
+        st = self.states[d]
+        keys = self.keys
+        n = len(pairs)
+        try:
+            indices = sorted({idx for pair in pairs for idx in pair})
+            slots = self._acquire_block_slots(st, indices)
+            if slots is None:
+                for (i, j) in pairs:
+                    self._execute_pair(st, i, j)
+                return
+            tracing = self.trace.enabled
             try:
-                slot_j = self._acquire_device_item(st, j)
-            except BaseException:
-                # The first item's pin must not leak when the second
-                # acquisition fails (abort, load error): a stuck pin
-                # would wedge eviction for every surviving job.
-                self._release_device_item(st, slot_i)
-                raise
-            try:
-                tracing = self.trace.enabled
+                views = {idx: self._slot_view(slot) for idx, slot in slots.items()}
+                keys_a = [keys[i] for (i, _) in pairs]
+                keys_b = [keys[j] for (_, j) in pairs]
+                views_a = [views[i] for (i, _) in pairs]
+                views_b = [views[j] for (_, j) in pairs]
                 t0 = self._now() if tracing else 0.0
-                raw, cmp_duration = st.device.run_kernel_timed(
-                    self.app.compare, keys[i], slot_i.payload, keys[j], slot_j.payload
+                raw, cmp_duration = st.device.run_kernel_batched_timed(
+                    self.app.compare_block, n, keys_a, views_a, keys_b, views_b
                 )
                 if tracing:
                     self.trace.record(st.device.name, "compare", t0, self._now(), self.job_id)
             finally:
-                self._release_device_item(st, slot_i)
-                self._release_device_item(st, slot_j)
+                for slot in slots.values():
+                    self._release_device_item(st, slot)
             raw_host = st.device.d2h(raw)
-            t0 = self._now()
-            value = self.app.postprocess(keys[i], keys[j], raw_host)
-            post_duration = self._now() - t0
-            if tracing:
-                self.trace.record("CPU", "postprocess", t0, t0 + post_duration, self.job_id)
-            # A job that limped past the kernel while the run was being
-            # aborted (cancellation) must not publish its pair: the
-            # consumer of this run's results is already gone.
-            if not self.aborted.is_set():
-                self.emit_result(i, j, value)
-            with st.pairs_lock:
-                st.pairs_done += 1
-            with self.counters_lock:
-                self.calibration.record_compare(cmp_duration, st.device.speed_factor)
-                self.calibration.record_postprocess(post_duration)
+            if len(raw_host) != n:
+                raise RuntimeError(
+                    f"compare_block returned {len(raw_host)} rows for {n} pairs"
+                )
+            per_pair_cmp = cmp_duration / n
+            for k, (i, j) in enumerate(pairs):
+                t0 = self._now()
+                value = self.app.postprocess(keys[i], keys[j], raw_host[k])
+                post_duration = self._now() - t0
+                if tracing:
+                    self.trace.record("CPU", "postprocess", t0, t0 + post_duration, self.job_id)
+                # Cancellation lands mid-batch too: already-computed
+                # pairs after the abort are dropped, like per-pair jobs.
+                if not self.aborted.is_set():
+                    self.emit_result(i, j, value)
+                with st.pairs_lock:
+                    st.pairs_done += 1
+                with self.counters_lock:
+                    self.calibration.record_compare(per_pair_cmp, st.device.speed_factor)
+                    self.calibration.record_postprocess(post_duration)
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             self.fail(exc)
         finally:
-            st.admission.release()
-            with self.counters_lock:
-                self.counters["completed"] += 1
-                finished = (
-                    self.expected_pairs is not None
-                    and self.counters["completed"] == self.expected_pairs
-                )
-            if finished:
-                self._signal_done()
-            else:
-                with self.work_cond:
-                    self.work_cond.notify_all()
+            self._finish_pairs(st, n)
 
     # -- worker loop -----------------------------------------------------
 
@@ -808,6 +976,67 @@ class NodePipeline:
         with self.counters_lock:
             self.counters["submitted"] += 1
         return True
+
+    def _try_claim_submission(self, st: _DeviceState) -> bool:
+        """Non-blocking :meth:`_claim_submission` for batch growth.
+
+        A batch claims its first pair blocking and every further pair
+        opportunistically: when the admission throttle or the job's
+        ``max_inflight`` window is exhausted the batch simply stays
+        smaller, instead of holding one claim while waiting for more
+        (which could starve co-running jobs or deadlock a
+        ``max_inflight`` below the grain).
+        """
+        if self.max_inflight is not None:
+            with self.counters_lock:
+                if (
+                    self.counters["submitted"] - self.counters["completed"]
+                    >= self.max_inflight
+                ):
+                    return False
+                self.counters["submitted"] += 1
+            if not st.admission.acquire(timeout=0):
+                with self.counters_lock:
+                    self.counters["submitted"] -= 1
+                return False
+            return True
+        if not st.admission.acquire(timeout=0):
+            return False
+        with self.counters_lock:
+            self.counters["submitted"] += 1
+        return True
+
+    def _batch_grain(self, d: int) -> int:
+        """Target pairs per batched kernel launch for device ``d``.
+
+        An integer ``config.grain`` is used as-is; ``"auto"`` sizes the
+        batch so one launch costs ``auto_grain``'s target wall time on
+        this device, from the engine's cross-job calibration merged
+        with this run's live measurements.  While uncalibrated the
+        per-pair ``leaf_size`` is used and nothing is cached, so the
+        grain upgrades mid-run once enough compares are measured.
+        """
+        grain = self._grain_cache.get(d)
+        if grain is not None:
+            return grain
+        cfg = self.config
+        configured = getattr(cfg, "grain", "auto")
+        if not isinstance(configured, str):
+            grain = max(1, int(configured))
+            self._grain_cache[d] = grain
+            return grain
+        st = self.states[d]
+        cal = StageCalibration()
+        with self.engine.calibration_lock:
+            cal.merge(self.engine.calibration)
+        with self.counters_lock:
+            cal.merge(self.calibration)
+        grain = cal.auto_grain(lo=cfg.leaf_size, speed=st.device.speed_factor)
+        if grain is None:
+            return cfg.leaf_size
+        if cal.cmp_count >= 32:
+            self._grain_cache[d] = grain
+        return grain
 
     def _trim_steal(self, task: PairBlock, thief: int, victim: int) -> PairBlock:
         """Size a stolen block to the thief/victim speed ratio.
@@ -873,13 +1102,36 @@ class NodePipeline:
                     )
                 continue
             idle_rounds = 0
-            if task.is_leaf(cfg.leaf_size):
-                for (i, j) in task.pairs():
-                    if self.pair_filter is not None and not self.pair_filter(keys[i], keys[j]):
-                        continue
-                    if not self._claim_submission(st):
-                        return
-                    self._job_pool.submit(self._run_job, d, i, j)
+            leaf_pairs = self._batch_grain(d) if self._batched else cfg.leaf_size
+            if task.is_leaf(leaf_pairs):
+                pairs = [
+                    (i, j)
+                    for (i, j) in task.pairs()
+                    if self.pair_filter is None or self.pair_filter(keys[i], keys[j])
+                ]
+                if not self._batched:
+                    for (i, j) in pairs:
+                        if not self._claim_submission(st):
+                            return
+                        self._job_pool.submit(self._run_job, d, i, j)
+                else:
+                    # Claim the first pair blocking, grow the batch with
+                    # whatever admission allows right now, and submit one
+                    # job per claimed chunk — partial batches are fine.
+                    start = 0
+                    while start < len(pairs):
+                        if not self._claim_submission(st):
+                            return
+                        count = 1
+                        while (
+                            start + count < len(pairs)
+                            and self._try_claim_submission(st)
+                        ):
+                            count += 1
+                        self._job_pool.submit(
+                            self._run_block, d, pairs[start : start + count]
+                        )
+                        start += count
             else:
                 with self.sched_lock:
                     self.deques[d].push_children(task.split())

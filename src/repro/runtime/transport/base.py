@@ -118,6 +118,24 @@ class Transport(ABC):
     def handle_free(self, msg: Tuple) -> None:
         """Process a payload-slot release message (descriptor transports)."""
 
+    # -- result / dispatch planes ------------------------------------------
+
+    def pack_result_block(self, block: Tuple) -> Any:
+        """Prepare one result block for the ``("results", ...)`` message.
+
+        Default: the block of ``(i, j, value)`` triples travels inline.
+        Zero-copy transports may return a descriptor whose bytes live in
+        a shared segment; the coordinator materialises it through
+        :meth:`TransportFabric.decode_result_block`.
+        """
+        return block
+
+    def unpack_job_payload(self, packed: Any) -> Any:
+        """Materialise a job spec packed by
+        :meth:`TransportFabric.pack_job_payload` (identity by default).
+        """
+        return packed
+
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
@@ -152,6 +170,29 @@ class TransportFabric(ABC):
     def shutdown(self) -> None:
         """Tear down all shared resources (idempotent; crash-safe)."""
 
+    # -- result / dispatch planes ------------------------------------------
+
+    def pack_job_payload(self, spec: Any) -> Any:
+        """Prepare one node's job hand-out ``(keys, pair_filter, blocks)``.
+
+        Default: the spec rides inline in the ``("job", ...)`` message.
+        Zero-copy fabrics may pickle it into a coordinator-owned shared
+        segment and return a descriptor; the node materialises it with
+        :meth:`Transport.unpack_job_payload` and releases the slot with
+        a ``("pfree", offset)`` message routed back here through
+        :meth:`handle_free`.
+        """
+        return spec
+
+    def decode_result_block(self, block: Any) -> Tuple:
+        """Materialise a result block packed by
+        :meth:`Transport.pack_result_block` (identity by default).
+        """
+        return block
+
+    def handle_free(self, msg: Tuple) -> None:
+        """Release a coordinator-owned payload slot (descriptor fabrics)."""
+
 
 # ----------------------------------------------------------------------
 # Result batching
@@ -175,10 +216,15 @@ class ResultBatcher:
         batch_size: int,
         max_delay: float = 0.05,
         job_id: Optional[int] = None,
+        pack: Optional[Callable[[Tuple], Any]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._send = send
+        #: Optional transport hook (``Transport.pack_result_block``):
+        #: lets a zero-copy transport ship the block as a shared-memory
+        #: descriptor instead of pickling every triple through the pipe.
+        self._pack = pack
         self.node_id = node_id
         #: When set, batches go out job-tagged as
         #: ``("results", node, job_id, block)`` so a coordinator serving
@@ -225,10 +271,11 @@ class ResultBatcher:
     def _ship(self, block: Tuple[Tuple[int, int, Any], ...]) -> None:
         self.batches_sent += 1
         self.results_sent += len(block)
+        payload: Any = block if self._pack is None else self._pack(block)
         if self.job_id is None:
-            self._send(("results", self.node_id, block))
+            self._send(("results", self.node_id, payload))
         else:
-            self._send(("results", self.node_id, self.job_id, block))
+            self._send(("results", self.node_id, self.job_id, payload))
 
 
 # ----------------------------------------------------------------------

@@ -161,6 +161,44 @@ class SharedMemoryTransport(QueueTransport):
         except ValueError:
             pass  # duplicate/late release after a drain; slot already reclaimed
 
+    # -- result / dispatch planes ------------------------------------------
+
+    def pack_result_block(self, block: Tuple) -> Any:
+        """Ship a numeric result block as an ``(n, 3)`` segment write.
+
+        Pair indices are exact in float64 (they are far below 2**53)
+        and float scores round-trip bit-identically, so the coordinator
+        reconstructs the same triples.  Blocks carrying non-scalar
+        values (an app may emit arbitrary objects) travel inline
+        unchanged, as does everything when the pool is exhausted —
+        ``pack_payload`` then returns the array, which the fabric still
+        decodes without the per-triple pickle.
+        """
+        rows = np.empty((len(block), 3), dtype=np.float64)
+        for k, (i, j, value) in enumerate(block):
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, np.integer, np.floating)
+            ):
+                return block
+            rows[k, 0] = i
+            rows[k, 1] = j
+            rows[k, 2] = value
+        return self.pack_payload(rows)
+
+    def unpack_job_payload(self, packed: Any) -> Any:
+        """Unpickle a job spec from the coordinator's segment.
+
+        The slot is released with a ``("pfree", offset)`` message to
+        the coordinator (descriptor owner ``-1``), mirroring the
+        node-to-node payload release path.
+        """
+        if not isinstance(packed, ShmDescriptor):
+            return packed
+        seg = self._attach_segment(packed.segment)
+        blob = bytes(seg.buf[packed.offset : packed.offset + packed.nbytes])
+        self.send_coordinator(("pfree", packed.offset))
+        return pickle.loads(blob)
+
     def close(self) -> None:
         """Unmap attached segments (never unlinks; the coordinator owns them)."""
         for seg in self._segments.values():
@@ -189,6 +227,7 @@ class SharedMemoryFabric(QueueFabric):
         self.segment_bytes = cluster.shm_segment_bytes
         token = uuid.uuid4().hex[:8]
         self._owned: List[shared_memory.SharedMemory] = []
+        self._seg_by_name: Dict[str, shared_memory.SharedMemory] = {}
         self.segment_names: List[str] = []
         try:
             for i in range(cluster.n_nodes):
@@ -198,7 +237,20 @@ class SharedMemoryFabric(QueueFabric):
                     size=self.segment_bytes,
                 )
                 self._owned.append(seg)
+                self._seg_by_name[seg.name] = seg
                 self.segment_names.append(seg.name)
+            # One extra coordinator-owned segment carries job dispatch
+            # payloads (keys, filter, blocks) the other way: nodes read
+            # the pickled spec out and release the slot with a pfree.
+            coord = shared_memory.SharedMemory(
+                name=f"{self.SEGMENT_PREFIX}_{token}_coord",
+                create=True,
+                size=self.segment_bytes,
+            )
+            self._owned.append(coord)
+            self._seg_by_name[coord.name] = coord
+            self.coord_segment_name = coord.name
+            self._coord_pool: Optional[BufferPool] = BufferPool(self.segment_bytes)
         except BaseException:
             self.shutdown()
             raise
@@ -208,9 +260,66 @@ class SharedMemoryFabric(QueueFabric):
             node_id, self.inboxes, self.coordinator, self.segment_names, self.segment_bytes
         )
 
+    # -- result / dispatch planes ------------------------------------------
+
+    def _owned_segment(self, name: str) -> Optional[shared_memory.SharedMemory]:
+        return self._seg_by_name.get(name)
+
+    def pack_job_payload(self, spec: Any) -> Any:
+        """Pickle one node's job spec into the coordinator segment."""
+        pool = self._coord_pool
+        coord = self._seg_by_name.get(getattr(self, "coord_segment_name", ""))
+        if pool is None or coord is None:
+            return spec
+        blob = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        offset = pool.alloc(len(blob))
+        if offset is None:
+            return spec  # pool exhausted; ship inline
+        coord.buf[offset : offset + len(blob)] = blob
+        return ShmDescriptor(
+            owner=-1,  # the coordinator, not a node
+            segment=coord.name,
+            offset=offset,
+            nbytes=len(blob),
+            dtype="|u1",
+            shape=(len(blob),),
+        )
+
+    def decode_result_block(self, block: Any) -> Tuple:
+        """Materialise a result block shipped through a node's segment."""
+        if isinstance(block, ShmDescriptor):
+            seg = self._owned_segment(block.segment)
+            if seg is None:
+                raise ValueError(f"result block in unknown segment {block.segment!r}")
+            view = np.ndarray(
+                block.shape, dtype=np.dtype(block.dtype), buffer=seg.buf, offset=block.offset
+            )
+            rows = view.copy()
+            try:
+                self.send_node(block.owner, ("pfree", block.offset))
+            except Exception:
+                pass  # node already gone; its pool dies with it
+            block = rows
+        if isinstance(block, np.ndarray):
+            return tuple((int(i), int(j), float(v)) for i, j, v in block)
+        return block
+
+    def handle_free(self, msg: Tuple) -> None:
+        """A node finished reading a job payload: reclaim the slot."""
+        _, offset = msg
+        pool = self._coord_pool
+        if pool is None:
+            return
+        try:
+            pool.free(offset)
+        except ValueError:
+            pass  # duplicate/late release; slot already reclaimed
+
     def shutdown(self) -> None:
         super().shutdown()
         owned, self._owned = self._owned, []
+        self._seg_by_name = {}
+        self._coord_pool = None
         for seg in owned:
             try:
                 seg.close()
@@ -227,4 +336,6 @@ class SharedMemoryFabric(QueueFabric):
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_owned"] = []
+        state["_seg_by_name"] = {}
+        state["_coord_pool"] = None
         return state
