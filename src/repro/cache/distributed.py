@@ -24,9 +24,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List
+from typing import Deque, Dict, Hashable, List, Sequence
 
-__all__ = ["mediator_of", "CandidateDirectory", "RequestOutcome", "HopStats"]
+__all__ = [
+    "mediator_of",
+    "mediator_of_live",
+    "CandidateDirectory",
+    "RequestOutcome",
+    "HopStats",
+]
 
 
 def mediator_of(item: int, n_nodes: int) -> int:
@@ -36,6 +42,24 @@ def mediator_of(item: int, n_nodes: int) -> int:
     if item < 0:
         raise ValueError(f"item ids are non-negative, got {item}")
     return item % n_nodes
+
+
+def mediator_of_live(item: int, live_nodes: Sequence[int]) -> int:
+    """Mediator for ``item`` over an elastic (non-contiguous) node set.
+
+    The paper's ``i mod p`` assumes nodes ``0..p-1`` all exist; under
+    elastic membership the live set may have holes (dead or retired
+    ids) and extensions (joined ids), so the mapping becomes ``i mod
+    |live|`` into the *sorted* live list.  Every node that agrees on
+    the membership epoch derives the same mediator with no extra
+    coordination — the property the modulo scheme was chosen for.
+    """
+    if not live_nodes:
+        raise ValueError("need at least one live node")
+    if item < 0:
+        raise ValueError(f"item ids are non-negative, got {item}")
+    ordered = sorted(live_nodes)
+    return ordered[item % len(ordered)]
 
 
 class CandidateDirectory:
@@ -72,6 +96,20 @@ class CandidateDirectory:
         """Current candidate list without recording anything."""
         dq = self._candidates.get(item)
         return list(dq) if dq else []
+
+    def evict_node(self, node: int) -> int:
+        """Drop ``node`` from every candidate list (it left the cluster).
+
+        A dead node can never serve a payload, so forwarding a probe to
+        it would burn a hop (or, worse, a timeout).  Returns the number
+        of entries removed.
+        """
+        removed = 0
+        for dq in self._candidates.values():
+            if node in dq:
+                dq.remove(node)
+                removed += 1
+        return removed
 
     @property
     def tracked_items(self) -> int:

@@ -115,6 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "--result-batch", type=int, default=64, metavar="N",
                 help="pair results per coordinator message (cluster backend)",
             )
+            p.add_argument(
+                "--elastic", action="store_true",
+                help="elastic membership: survive node loss mid-job and "
+                "allow add_node()/retire_node() (cluster backend)",
+            )
+            p.add_argument(
+                "--max-nodes", type=int, default=None, metavar="N",
+                help="pre-allocated node-slot capacity for --elastic "
+                "joins (default: nodes + 4)",
+            )
 
     run = sub.add_parser("run", help="run a paper application on a selected backend")
     add_run_arguments(run, with_backend=True)
@@ -337,6 +347,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             transport=args.transport,
             result_batch=args.result_batch,
             node_speed_factors=node_speeds,
+            elastic=args.elastic,
+            max_nodes=args.max_nodes,
         )
     rocket = Rocket(app, store, config, backend=backend, **options)
     if getattr(args, "jobs_file", None):

@@ -122,6 +122,12 @@ class JobAccounting:
     #: execution-level pressure cap is ``max_inflight``, enforced per
     #: node engine, not a grant-level statistic.
     peak_inflight: int = 0
+    #: Fault-tolerance costs (elastic cluster sessions only): nodes
+    #: that died while this job ran, and accepted pairs re-enqueued
+    #: from departed nodes (an upper bound on duplicated work — pairs
+    #: whose first result landed are deduplicated, not re-counted).
+    nodes_lost: int = 0
+    pairs_recovered: int = 0
 
     @property
     def queued_seconds(self) -> float:
@@ -159,6 +165,8 @@ class JobAccounting:
             "peak_inflight": self.peak_inflight,
             "queued_seconds": self.queued_seconds,
             "running_seconds": self.running_seconds,
+            "nodes_lost": self.nodes_lost,
+            "pairs_recovered": self.pairs_recovered,
         }
 
     def summary(self) -> str:

@@ -380,6 +380,24 @@ class RocketSession:
         """
         return self._session.profile()
 
+    def add_node(self) -> int:
+        """Grow the live worker set by one node (elastic cluster only).
+
+        The new node joins running jobs as a steal target and cache
+        peer immediately; returns its node id.  Raises on backends
+        without elastic membership (``ClusterConfig(elastic=True)``).
+        """
+        return self._session.add_node()
+
+    def retire_node(self, node: Optional[int] = None, *, drain: bool = True) -> int:
+        """Drain one worker out of the live set without losing pairs.
+
+        ``node=None`` retires the highest-numbered live node; the
+        node's unfinished work is re-enqueued on the survivors before
+        its process shuts down.  Returns the retired node id.
+        """
+        return self._session.retire_node(node, drain=drain)
+
     def close(self) -> None:
         """Tear down the backend (cancels queued and running jobs)."""
         self._session.close()

@@ -85,6 +85,22 @@ class BackendSession(ABC):
     def closed(self) -> bool:
         """True once :meth:`close` ran (or the session died)."""
 
+    def add_node(self) -> int:
+        """Grow the session's worker set by one node (elastic backends).
+
+        Only the cluster backend with ``ClusterConfig(elastic=True)``
+        supports membership changes; everything else raises.
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} does not support elastic membership"
+        )
+
+    def retire_node(self, node: Optional[int] = None, *, drain: bool = True) -> int:
+        """Drain and remove one worker node (elastic backends only)."""
+        raise RuntimeError(
+            f"{type(self).__name__} does not support elastic membership"
+        )
+
     def metrics(self) -> Dict[str, Any]:
         """Snapshot of the session's metrics registry (nested dict).
 
@@ -284,6 +300,8 @@ def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
     device_speeds = options.pop("device_speeds", None)
     node_speeds = options.pop("node_speeds", None)
     steal_policy = options.pop("steal_policy", None)
+    elastic = options.pop("elastic", None)
+    max_nodes = options.pop("max_nodes", None)
     if options:
         raise TypeError(f"unknown cluster backend options {sorted(options)}")
     if cluster is None:
@@ -307,6 +325,10 @@ def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
         overrides["node_speed_factors"] = tuple(
             tuple(float(s) for s in speeds) for speeds in node_speeds
         )
+    if elastic is not None:
+        overrides["elastic"] = bool(elastic)
+    if max_nodes is not None:
+        overrides["max_nodes"] = int(max_nodes)
     if overrides:
         cluster = dataclasses.replace(cluster, **overrides)
     return ClusterRocketRuntime(app, store, config, cluster=cluster)

@@ -75,7 +75,12 @@ from typing import Any, Deque, Dict, Hashable, List, Optional, Sequence, Set, Tu
 
 import numpy as np
 
-from repro.cache.distributed import CandidateDirectory, HopStats, mediator_of
+from repro.cache.distributed import (
+    CandidateDirectory,
+    HopStats,
+    mediator_of,
+    mediator_of_live,
+)
 from repro.core.api import Application
 from repro.core.scheduler import JobScheduler, coerce_policy
 from repro.core.session import RunHandle, RunState
@@ -149,10 +154,33 @@ class ClusterConfig:
     #: ``device_speed_factors`` on each node.  ``None`` — every node
     #: runs the RocketConfig as given.
     node_speed_factors: Optional[Tuple[Tuple[float, ...], ...]] = None
+    #: Elastic membership: a node death mid-job re-enqueues the dead
+    #: node's unfinished blocks instead of killing the session, and
+    #: ``ClusterSession.add_node()`` / ``retire_node()`` grow and
+    #: shrink the live node set while jobs run.  Off by default: the
+    #: historical fail-fast behaviour (any unexpected death is fatal).
+    elastic: bool = False
+    #: Upper bound on concurrently live nodes (initial + added).  The
+    #: transport fabric pre-allocates this many inboxes/segments, since
+    #: ``multiprocessing`` queues cannot be created after the workers
+    #: fork.  ``None`` — ``n_nodes`` (no headroom) when not elastic,
+    #: ``n_nodes + 4`` when elastic.
+    max_nodes: Optional[int] = None
+
+    @property
+    def capacity(self) -> int:
+        """Resolved node-slot capacity of the transport fabric."""
+        if self.max_nodes is not None:
+            return self.max_nodes
+        return self.n_nodes + 4 if self.elastic else self.n_nodes
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.max_nodes is not None and self.max_nodes < self.n_nodes:
+            raise ValueError(
+                f"max_nodes must be >= n_nodes, got {self.max_nodes} < {self.n_nodes}"
+            )
         if self.max_hops < 1:
             raise ValueError(f"max_hops (h) must be >= 1, got {self.max_hops}")
         if self.fetch_timeout <= 0 or self.steal_timeout <= 0 or self.poll_interval <= 0:
@@ -199,6 +227,7 @@ _KIND_OF = {
     "stop": "control",
     "job": "control",
     "shutdown": "control",
+    "epoch": "control",
 }
 
 
@@ -278,6 +307,10 @@ class _Pending:
         self.req_id = req_id
         self.kind = kind  # "fetch" | "steal"
         self.job_id = job_id
+        #: Node the request is waiting on (the mediator for fetches);
+        #: an epoch update that declares it dead resolves the wait with
+        #: a definitive miss instead of letting it run out the timeout.
+        self.target: Optional[int] = None
         self.event = threading.Event()
         self.result: Any = None
 
@@ -363,10 +396,23 @@ class NodeCommServer:
         node_id: int,
         cluster: ClusterConfig,
         transport: Transport,
+        epoch: int = 0,
+        live: Optional[Sequence[int]] = None,
     ) -> None:
         self.node_id = node_id
         self.cluster = cluster
         self.transport = transport
+        #: Monotonic membership epoch (coordinator-owned; bumped on
+        #: every join/death/retire and broadcast as ``("epoch", e,
+        #: live)``).  Cache messages carry the sender's epoch so a
+        #: receiver that already moved on answers a definitive miss
+        #: instead of serving stale membership.
+        self.epoch = int(epoch)
+        #: Sorted tuple of currently live node ids; drives the mediator
+        #: mapping and candidate filtering.
+        self.live: Tuple[int, ...] = (
+            tuple(sorted(live)) if live is not None else tuple(range(cluster.n_nodes))
+        )
         self._stats_lock = threading.Lock()
         self._jobs_lock = threading.Lock()
         self._jobs_state: Dict[int, NodeJobState] = {}
@@ -391,6 +437,11 @@ class NodeCommServer:
         #: failure for the session's lifetime.
         self._early_stops: Dict[int, bool] = {}
         self._early_stop_order: Deque[int] = deque()
+        #: Recovery grants (req_id ``-1``) that arrived before their job
+        #: was begun on this node — a late joiner's first grant can race
+        #: its own job hand-out.  Drained by the job runner after the
+        #: pipeline attaches; bounded like the other straggler maps.
+        self._early_grants: Dict[int, List[PairBlock]] = {}
         self._jobs: "queue.Queue[Optional[Tuple]]" = queue.Queue()
         self._shutdown = threading.Event()
 
@@ -442,14 +493,23 @@ class NodeCommServer:
         return state
 
     def attach(self, state: NodeJobState, pipeline: NodePipeline) -> None:
-        """Bind the pipeline whose host cache and deques serve this job."""
-        state.pipeline = pipeline
+        """Bind the pipeline whose host cache and deques serve this job.
+
+        Grants that arrived before the pipeline existed (a recovery
+        re-injection racing the job hand-out) are drained into it here.
+        """
+        with self._jobs_lock:
+            state.pipeline = pipeline
+            early = self._early_grants.pop(state.job_id, [])
+        for block in early:
+            pipeline.inject_block(block)
 
     def end_job(self, state: NodeJobState) -> None:
         """Retire the finished job's state (the engine stays warm)."""
         state.stopped.set()
         with self._jobs_lock:
             self._jobs_state.pop(state.job_id, None)
+            self._early_grants.pop(state.job_id, None)
             if state.job_id not in self._ended_jobs:
                 self._ended_jobs.add(state.job_id)
                 self._ended_order.append(state.job_id)
@@ -532,12 +592,18 @@ class NodeCommServer:
         """
         if state.stopped.is_set():
             return None
+        live = self.live
+        if len(live) < 2:
+            return None  # nobody left to fetch from
         tracing = state.trace.enabled
         t0 = state.trace.now() if tracing else 0.0
-        mediator = mediator_of(idx, self.cluster.n_nodes)
+        mediator = mediator_of_live(idx, live)
         pend = self._register("fetch", state.job_id)
+        pend.target = mediator
         self._send_node(
-            state, mediator, ("creq", state.job_id, self.node_id, idx, pend.req_id)
+            state,
+            mediator,
+            ("creq", state.job_id, self.node_id, idx, pend.req_id, self.epoch),
         )
         if not pend.event.wait(self.cluster.fetch_timeout):
             self._pop_pending(pend.req_id)
@@ -603,6 +669,35 @@ class NodeCommServer:
             # slot bookkeeping is transport-level, not job-level.
             self.transport.handle_free(msg)
             return
+        if kind == "epoch":
+            # Membership update from the coordinator.  Monotonic: a
+            # stale broadcast (reordered behind a newer one) is ignored.
+            _, epoch, live = msg
+            if epoch <= self.epoch:
+                return
+            gone = set(self.live) - set(live)
+            self.epoch = int(epoch)
+            self.live = tuple(sorted(live))
+            if gone:
+                # Dead nodes can no longer serve: drop them from every
+                # active job's candidate directory so mediator answers
+                # stop pointing requesters at them, and resolve fetches
+                # currently waiting on one of them with a definitive
+                # miss instead of running out the fetch timeout.
+                for state in self.active_jobs():
+                    for node in gone:
+                        state.directory.evict_node(node)
+                with self._pending_lock:
+                    doomed = [
+                        p
+                        for p in self._pending.values()
+                        if p.kind == "fetch" and p.target in gone
+                    ]
+                    for pend in doomed:
+                        del self._pending[pend.req_id]
+                for pend in doomed:
+                    pend.resolve(None)
+            return
         if kind == "stop":
             _, job_id, abort = msg
             state = self._job_state(job_id)
@@ -626,17 +721,22 @@ class NodeCommServer:
         state = self._job_state(job_id)
         if kind == "creq":
             # Mediator step: return current candidates, record requester.
-            _, _, requester, idx, req_id = msg
-            if state is None or not 0 <= idx < len(state.keys):
-                # Unknown/ended job (or an index from a different job's
-                # space): answer with a definitive miss so the
-                # requester falls through to a local load instead of
-                # blocking out its fetch timeout.
+            # Legacy 5-tuples (tests, older senders) carry no epoch and
+            # are treated as current.
+            _, _, requester, idx, req_id = msg[:5]
+            epoch = msg[5] if len(msg) > 5 else self.epoch
+            if state is None or not 0 <= idx < len(state.keys) or epoch < self.epoch:
+                # Unknown/ended job, an index from a different job's
+                # space, or a request sent under stale membership:
+                # answer with a definitive miss so the requester falls
+                # through to a local load instead of blocking out its
+                # fetch timeout.
                 self._send_node(state, requester, ("crep", job_id, req_id, None, -1, -1))
                 return
+            live = self.live
             candidates = [
                 c for c in state.directory.lookup_and_record(idx, requester)
-                if c != requester
+                if c != requester and c in live
             ]
             if not candidates:
                 self._send_node(state, requester, ("crep", job_id, req_id, None, 0, -1))
@@ -644,11 +744,18 @@ class NodeCommServer:
                 self._send_node(
                     state,
                     candidates[0],
-                    ("cprobe", job_id, requester, idx, req_id, tuple(candidates[1:]), 1),
+                    ("cprobe", job_id, requester, idx, req_id,
+                     tuple(candidates[1:]), 1, self.epoch),
                 )
         elif kind == "cprobe":
             # Candidate step: serve from the host cache or forward.
-            _, _, requester, idx, req_id, rest, hop = msg
+            _, _, requester, idx, req_id, rest, hop = msg[:7]
+            epoch = msg[7] if len(msg) > 7 else self.epoch
+            if epoch < self.epoch:
+                # Probe from a previous membership epoch: droppable by
+                # contract — answer the requester with a definitive miss.
+                self._send_node(state, requester, ("crep", job_id, req_id, None, -1, -1))
+                return
             payload = (
                 state.pipeline.host_payload_view(state.keys[idx])
                 if state is not None
@@ -664,11 +771,19 @@ class NodeCommServer:
                     state, requester, ("crep", job_id, req_id, packed, hop, self.node_id)
                 )
             elif rest:
-                self._send_node(
-                    state,
-                    rest[0],
-                    ("cprobe", job_id, requester, idx, req_id, tuple(rest[1:]), hop + 1),
-                )
+                live = self.live
+                chain = [c for c in rest if c in live]
+                if chain:
+                    self._send_node(
+                        state,
+                        chain[0],
+                        ("cprobe", job_id, requester, idx, req_id,
+                         tuple(chain[1:]), hop + 1, self.epoch),
+                    )
+                else:
+                    self._send_node(
+                        state, requester, ("crep", job_id, req_id, None, -1, -1)
+                    )
             else:
                 # Chain exhausted: the requester must load locally.
                 self._send_node(state, requester, ("crep", job_id, req_id, None, -1, -1))
@@ -708,17 +823,28 @@ class NodeCommServer:
             pend = self._pop_pending(req_id)
             if pend is not None:
                 pend.resolve(block)
-            elif (
-                block is not None
-                and state is not None
-                and not state.stopped.is_set()
-                and state.pipeline is not None
-            ):
-                # The thief timed out waiting; never lose a stolen
-                # block.  The job tag guarantees the block belongs to
-                # this job's index space — a grant for an ended job is
-                # dropped instead.
-                state.pipeline.inject_block(block)
+            elif block is not None:
+                # The thief timed out waiting (or this is a recovery
+                # re-injection, req_id -1); never lose a granted block.
+                # The job tag guarantees the block belongs to this
+                # job's index space — a grant for an ended job is
+                # dropped instead, and a grant racing the job hand-out
+                # is parked for :meth:`attach` to drain (checked and
+                # buffered under the jobs lock so the runner's drain
+                # cannot miss it).
+                pipeline = None
+                with self._jobs_lock:
+                    st = self._jobs_state.get(job_id)
+                    if st is not None and st.stopped.is_set():
+                        pass  # job ended here: drop
+                    elif st is not None and st.pipeline is not None:
+                        pipeline = st.pipeline
+                    elif job_id not in self._ended_jobs:
+                        parked = self._early_grants.setdefault(job_id, [])
+                        if len(parked) < self._ended_cap:
+                            parked.append(block)
+                if pipeline is not None:
+                    pipeline.inject_block(block)
         else:
             raise ValueError(f"unknown cluster message {kind!r}")
 
@@ -780,7 +906,9 @@ def _run_node_job(
     """
     node_id = comm.node_id
     job_id, keys, pair_filter, initial_blocks, max_inflight = job
-    multi = cluster.n_nodes > 1
+    # Elastic single-node sessions keep the remote planes enabled: a
+    # node joining later must be fetchable/stealable-from immediately.
+    multi = cluster.n_nodes > 1 or cluster.elastic
     state = comm.begin_job(job_id, keys, max_inflight=max_inflight)
     try:
         # Under profiling the job records into a node-local recorder
@@ -841,6 +969,8 @@ def _node_main(
     config: RocketConfig,
     cluster: ClusterConfig,
     fabric: TransportFabric,
+    epoch: int = 0,
+    live: Optional[Tuple[int, ...]] = None,
 ) -> None:
     """Entry point of one worker process (one simulated cluster node).
 
@@ -853,7 +983,7 @@ def _node_main(
     """
     transport = fabric.endpoint(node_id)
     try:
-        comm = NodeCommServer(node_id, cluster, transport)
+        comm = NodeCommServer(node_id, cluster, transport, epoch=epoch, live=live)
         engine = NodeEngine(
             config,
             node_id=node_id,
@@ -971,15 +1101,25 @@ class _ClusterJob:
 
         self.node_speeds = session._node_speeds
         self.speed_aware = cfg.steal_policy is StealPolicy.SPEED
+        #: Nodes this job is dispatched to: the live set at admission,
+        #: grown by mid-job joins.  Dead/retired nodes stay members and
+        #: move into ``forgiven_nodes`` so report accounting stays
+        #: exact.
+        self.participants: Set[int] = set(session._live)
+        nodes = sorted(self.participants)
         blocks = workload.blocks()
-        if self.speed_aware and cl.n_nodes > 1:
+        if self.speed_aware and len(nodes) > 1:
             # Speed-proportional initial partitioning: every node starts
             # with a share of the workload's block set matching its
-            # aggregate speed instead of node 0 holding everything.
-            self.shares = partition_blocks(blocks, self.node_speeds)
+            # aggregate speed instead of the first node holding
+            # everything.
+            node_shares = partition_blocks(
+                blocks, [self.node_speeds[n] for n in nodes]
+            )
         else:
-            self.shares = [[] for _ in range(cl.n_nodes)]
-            self.shares[0] = blocks
+            node_shares: List[List[PairBlock]] = [[] for _ in nodes]
+            node_shares[0] = blocks
+        self.shares: Dict[int, List[PairBlock]] = dict(zip(nodes, node_shares))
 
         # Accepted-pair counts per block, computed once and memoized by
         # block region: the workload seeds the map for its own blocks,
@@ -992,12 +1132,34 @@ class _ClusterJob:
             session._topology, RngFactory(cfg.seed).get(f"cluster:steal:{self.job_id}")
         )
         self.pending_steals: Dict[Tuple[int, int], List[int]] = {}
+        #: The victim each in-flight steal request is currently probing;
+        #: a victim death advances the probe immediately instead of
+        #: letting the thief wait out its steal timeout.
+        self.probing: Dict[Tuple[int, int], int] = {}
         self.reports: Dict[int, NodeReport] = {}
+        capacity = session._capacity
         # Estimated accepted pairs still owned by each node: the initial
         # share, plus/minus granted steals, minus streamed results.
         # Drives remaining-work victim ranking under the SPEED policy.
-        self.assigned = [sum(self.accepted_count(b) for b in s) for s in self.shares]
-        self.completed_by = [0] * cl.n_nodes
+        self.assigned = [0] * capacity
+        for n, share in self.shares.items():
+            self.assigned[n] = sum(self.accepted_count(b) for b in share)
+        self.completed_by = [0] * capacity
+        #: Blocks each node is estimated to hold right now (initial
+        #: share, moved by steal grants) — the recovery source when a
+        #: node dies or retires mid-job.  Over-inclusion is safe (the
+        #: dedupe filter drops re-executed pairs); under-inclusion
+        #: would lose pairs, so blocks only leave a node's list when a
+        #: grant provably moved them.
+        self.owned: Dict[int, List[PairBlock]] = {
+            n: list(share) for n, share in self.shares.items()
+        }
+        #: Coordinator-side exactly-once filter (elastic sessions only):
+        #: recovery re-executes whole blocks, so duplicated results must
+        #: not double-stream to the handle or double-count completion.
+        self.done_pairs: Optional[Set[Tuple[int, int]]] = (
+            set() if session._elastic else None
+        )
         self.completed = 0
         self.remote_steals = 0
         self.error: Optional[str] = None
@@ -1036,8 +1198,9 @@ class _ClusterJob:
         return count
 
     def reports_complete(self) -> bool:
-        n_nodes = self.session._runtime.cluster.n_nodes
-        return all(i in self.reports or i in self.forgiven_nodes for i in range(n_nodes))
+        return all(
+            i in self.reports or i in self.forgiven_nodes for i in self.participants
+        )
 
     # -- protocol actions ------------------------------------------------
 
@@ -1045,7 +1208,7 @@ class _ClusterJob:
         self.stopped = True
         if self.report_deadline is None:
             self.report_deadline = time.perf_counter() + 15.0
-        for node in range(self.session._runtime.cluster.n_nodes):
+        for node in self.participants:
             try:
                 self.session._fabric.send_node(node, ("stop", self.job_id, abort))
             except Exception:
@@ -1057,12 +1220,23 @@ class _ClusterJob:
         UNIFORM: the global VictimSelector tier (randomized,
         locality-aware).  SPEED: the same candidate set re-ranked by
         estimated remaining work, so the most-backlogged node is
-        probed first instead of a uniformly random one.
+        probed first instead of a uniformly random one.  Dead,
+        retired and non-participating nodes are excluded at the
+        selector so a thief's probe can never park on a victim that
+        will not answer.
         """
         cfg = self.session._runtime.config
         topology = self.session._topology
+        live = self.session._live
+        excluded = frozenset(
+            w
+            for w, node in enumerate(topology.node_of)
+            if node not in live
+            or node not in self.participants
+            or node in self.forgiven_nodes
+        )
         order: List[int] = []
-        for w in self.selector.candidates(thief * cfg.n_devices):
+        for w in self.selector.candidates(thief * cfg.n_devices, exclude=excluded):
             node = topology.node_of[w]
             if node != thief and node not in order:
                 order.append(node)
@@ -1081,6 +1255,13 @@ class _ClusterJob:
     def grant(
         self, thief: int, req_id: int, block: Optional[PairBlock], count: int = 0
     ) -> None:
+        if block is not None and thief not in self.session._live:
+            # The thief died between its request and this grant: the
+            # block would be stranded in a dead inbox.  Hand it to a
+            # surviving node instead (the thief's own death handling
+            # reclaims whatever it already held).
+            self.reinject_block(block)
+            return
         try:
             self.session._fabric.send_node(
                 thief, ("sgrant", self.job_id, req_id, block)
@@ -1092,19 +1273,33 @@ class _ClusterJob:
         if block is not None:
             self.remote_steals += 1
             self.assigned[thief] += count
+            self.owned.setdefault(thief, []).append(block)
 
     def advance_steal(self, key: Tuple[int, int]) -> None:
         thief, req_id = key
         victims = self.pending_steals[key]
-        if victims:
+        live = self.session._live
+        while victims:
+            victim = victims.pop(0)
+            if victim not in live:
+                continue  # died since the order was computed
+            self.probing[key] = victim
             self.session._fabric.send_node(
-                victims.pop(0), ("sprobe", self.job_id, thief, req_id)
+                victim, ("sprobe", self.job_id, thief, req_id)
             )
-        else:
-            del self.pending_steals[key]
-            self.grant(thief, req_id, None)
+            return
+        del self.pending_steals[key]
+        self.probing.pop(key, None)
+        self.grant(thief, req_id, None)
 
     def record_result(self, i: int, j: int, value: Any) -> None:
+        if self.done_pairs is not None:
+            # Exactly-once: recovery re-executes whole blocks, so a
+            # pair may be computed twice — only the first result
+            # streams to the handle and counts toward completion.
+            if (i, j) in self.done_pairs:
+                return
+            self.done_pairs.add((i, j))
         self.handle._record(i, j, value)
         self.completed += 1
         if self.handle.accounting is not None:
@@ -1117,6 +1312,136 @@ class _ClusterJob:
             self.error = text
         if not self.stopped:
             self.broadcast_stop(True)
+
+    # -- elastic recovery ------------------------------------------------
+
+    def _subtract_owned(self, node: int, block: PairBlock) -> None:
+        """Remove ``block`` from ``node``'s ownership estimate.
+
+        A steal grant ships an exact block the victim reported, which
+        is either one of the blocks we track for it or a descendant
+        produced by the victim's local quadtree splits.  Exact match
+        pops the entry; otherwise we descend: split the containing
+        tracked block the same way the quadtree does, drop the child
+        matching the grant, keep the siblings.  If the region cannot
+        be aligned we leave the tracked block alone — over-inclusion
+        only costs duplicated (deduped) work on recovery, while
+        removing too much would lose pairs.
+        """
+        owned = self.owned.get(node)
+        if not owned:
+            return
+        region = (block.row_lo, block.row_hi, block.col_lo, block.col_hi)
+        for k, b in enumerate(owned):
+            if (b.row_lo, b.row_hi, b.col_lo, b.col_hi) == region:
+                owned.pop(k)
+                return
+        # Quadtree descent from the containing tracked block.
+        for k, b in enumerate(owned):
+            if (
+                b.row_lo <= block.row_lo
+                and b.row_hi >= block.row_hi
+                and b.col_lo <= block.col_lo
+                and b.col_hi >= block.col_hi
+            ):
+                container = owned.pop(k)
+                for _ in range(64):  # bound descent on misaligned regions
+                    if (
+                        container.row_lo,
+                        container.row_hi,
+                        container.col_lo,
+                        container.col_hi,
+                    ) == region:
+                        return  # exact child found and dropped
+                    if container.is_leaf():
+                        owned.append(container)  # misaligned: keep whole
+                        return
+                    next_container = None
+                    for child in container.split():
+                        if (
+                            child.row_lo <= block.row_lo
+                            and child.row_hi >= block.row_hi
+                            and child.col_lo <= block.col_lo
+                            and child.col_hi >= block.col_hi
+                        ):
+                            next_container = child
+                        else:
+                            owned.append(child)
+                    if next_container is None:
+                        return  # grant straddles children: siblings kept
+                    container = next_container
+                owned.append(container)
+                return
+
+    def reinject_block(self, block: PairBlock, exclude: Set[int] = frozenset()) -> int:
+        """Queue ``block`` onto a live participant via the late-grant path.
+
+        Returns the target node, or -1 if no live participant is left
+        (the caller fails the job).  Targets the least-loaded live
+        node by the remaining-work estimate so recovery does not pile
+        onto one survivor.
+        """
+        targets = [
+            n
+            for n in self.participants
+            if n in self.session._live
+            and n not in self.forgiven_nodes
+            and n not in exclude
+        ]
+        if not targets:
+            return -1
+        target = min(targets, key=lambda n: self.assigned[n] - self.completed_by[n])
+        count = self.accepted_count(block)
+        # req_id -1: no pending on the node side — routes through the
+        # same inject path as a late steal grant.
+        self.session._fabric.send_node(target, ("sgrant", self.job_id, -1, block))
+        self.assigned[target] += count
+        self.owned.setdefault(target, []).append(block)
+        return target
+
+    def _block_remaining(self, block: PairBlock) -> bool:
+        """True if any accepted pair of ``block`` lacks a recorded result."""
+        done = self.done_pairs
+        if done is None:
+            return True
+        keys, flt = self.keys, self.pair_filter
+        for i, j in block.pairs():
+            if flt is not None and not flt(keys[i], keys[j]):
+                continue
+            if (i, j) not in done:
+                return True
+        return False
+
+    def recover_node(self, node: int, *, voluntary: bool = False) -> int:
+        """Reclaim a dead/retiring node's unfinished blocks and re-enqueue.
+
+        Returns the number of pairs re-injected.  The node is marked
+        forgiven (its stats report is no longer awaited) and all steal
+        probes parked on it are advanced immediately.
+        """
+        self.forgiven_nodes.add(node)
+        blocks = self.owned.pop(node, [])
+        reinjected_pairs = 0
+        lost = False
+        for block in blocks:
+            if not self._block_remaining(block):
+                continue  # every accepted pair already streamed back
+            if self.reinject_block(block, exclude={node}) < 0:
+                lost = True
+                break
+            reinjected_pairs += self.accepted_count(block)
+        # Steal requests probing the dead victim would otherwise wait
+        # out the watchdog; advance them to the next candidate now.
+        for key, victim in list(self.probing.items()):
+            if victim == node and key in self.pending_steals:
+                self.advance_steal(key)
+        if self.handle.accounting is not None:
+            if not voluntary:
+                self.handle.accounting.nodes_lost += 1
+            self.handle.accounting.pairs_recovered += reinjected_pairs
+        if lost:
+            self.fail(f"node {node} died and no live node remains to take over")
+        return reinjected_pairs
 
 
 class ClusterSession(BackendSession):
@@ -1152,16 +1477,39 @@ class ClusterSession(BackendSession):
                 f"multiprocessing start method {cl.start_method!r} unavailable "
                 f"on this platform"
             ) from exc
+        self._ctx = ctx
         self._node_cfgs = runtime._node_configs()
-        self._node_speeds = [c.aggregate_speed for c in self._node_cfgs]
+        capacity = cl.capacity
+        self._capacity = capacity
+        self._elastic = cl.elastic
+        # Slots beyond the initial node set (joinable under elastic
+        # membership) run the base config at the base speed.
+        self._node_speeds = [c.aggregate_speed for c in self._node_cfgs] + [
+            cfg.aggregate_speed
+        ] * (capacity - cl.n_nodes)
         self._topology = WorkerTopology.from_gpus_per_node(
-            [cfg.n_devices] * cl.n_nodes
+            [cfg.n_devices] * capacity
         )
+        #: Membership: monotonically-versioned epoch, the live node set,
+        #: and the disjoint dead/retired sets.  Only the coordinator
+        #: thread mutates these; nodes learn of changes via the
+        #: ``("epoch", epoch, live)`` broadcast.
+        self._epoch = 0
+        self._live: Set[int] = set(range(cl.n_nodes))
+        self._dead: Set[int] = set()
+        self._retired: Set[int] = set()
+        self._next_slot = cl.n_nodes
+        #: Membership commands (add/retire) enqueued by user threads and
+        #: executed on the coordinator thread, where all job state lives.
+        self._control: "queue.Queue[Tuple]" = queue.Queue()
         self._fabric = create_fabric(cl.transport, ctx, cl)
-        self._procs = [
+        self._procs: List = [
             ctx.Process(
                 target=_node_main,
-                args=(i, runtime.app, runtime.store, self._node_cfgs[i], cl, self._fabric),
+                args=(
+                    i, runtime.app, runtime.store, self._node_cfgs[i], cl,
+                    self._fabric, 0, tuple(range(cl.n_nodes)),
+                ),
                 name=f"rocket-node{i}",
                 daemon=True,
             )
@@ -1268,8 +1616,14 @@ class ClusterSession(BackendSession):
             # hook; active ones abort through the coordinator poll.
             handle.cancel()
         self._thread.join(timeout=60.0)
-        cl = self._runtime.cluster
-        for node in range(cl.n_nodes):
+        for handle in handles:
+            # Belt and braces: whatever the coordinator loop missed (a
+            # wedged or dead serve thread, a handle admitted between the
+            # drain and the join) must still resolve — wait() may never
+            # hang on a closed session.
+            if not handle.done():
+                handle._finish(RunState.CANCELLED)
+        for node in range(self._next_slot):
             try:
                 self._fabric.send_node(node, ("shutdown",))
             except Exception:
@@ -1284,6 +1638,154 @@ class ClusterSession(BackendSession):
         # exit path, so a crashed node cannot leak /dev/shm entries.
         self._fabric.shutdown()
 
+    # -- elastic membership ----------------------------------------------
+
+    def _require_elastic(self) -> None:
+        if not self._elastic:
+            raise RuntimeError(
+                "membership changes need ClusterConfig(elastic=True)"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self._fatal is not None:
+                raise RuntimeError(f"session is dead: {self._fatal}")
+
+    def add_node(self) -> int:
+        """Spawn a new worker and enroll it in the live session.
+
+        The node joins active jobs with an empty initial share — the
+        steal plane pulls work onto it — and registers in every job's
+        candidate directories as cache state builds.  Returns the new
+        node id.  Runs on the coordinator thread (all job state lives
+        there); this call blocks until the join is effective.
+        """
+        self._require_elastic()
+        box: Dict[str, Any] = {}
+        event = threading.Event()
+        self._control.put(("add", None, True, box, event))
+        if not event.wait(timeout=60.0):
+            raise RuntimeError("add_node timed out waiting for the coordinator")
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def retire_node(self, node: Optional[int] = None, *, drain: bool = True) -> int:
+        """Remove a worker from the live session without losing pairs.
+
+        The node's unfinished blocks are re-injected onto the surviving
+        nodes (results it already streamed are kept; any overlap is
+        deduplicated), membership is re-announced under a new epoch,
+        and the worker process is shut down and joined.  ``node=None``
+        retires the highest-numbered live node.  ``drain=False`` skips
+        waiting for the worker process to exit.
+        """
+        self._require_elastic()
+        box: Dict[str, Any] = {}
+        event = threading.Event()
+        self._control.put(("retire", node, drain, box, event))
+        if not event.wait(timeout=60.0):
+            raise RuntimeError("retire_node timed out waiting for the coordinator")
+        if "error" in box:
+            raise box["error"]
+        node = box["result"]
+        proc = self._procs[node]
+        proc.join(timeout=15.0 if drain else 0.1)
+        if proc.is_alive() and drain:
+            proc.terminate()
+            proc.join(timeout=2.0)
+        self._fabric.release_node_segment(node)
+        return node
+
+    def _bump_epoch(self) -> None:
+        """Advance membership and announce it to every live node."""
+        self._epoch += 1
+        live = tuple(sorted(self._live))
+        for node in live:
+            try:
+                self._fabric.send_node(node, ("epoch", self._epoch, live))
+            except Exception:
+                pass  # a dying node's queue may already be broken
+
+    def _do_control(self, cmd: Tuple) -> None:
+        """Execute one membership command on the coordinator thread."""
+        kind, node, drain, box, event = cmd
+        try:
+            if kind == "add":
+                box["result"] = self._do_add_node()
+            else:
+                box["result"] = self._do_retire_node(node, drain)
+        except BaseException as exc:  # noqa: BLE001 - delivered to caller
+            box["error"] = exc
+        finally:
+            event.set()
+
+    def _do_add_node(self) -> int:
+        runtime = self._runtime
+        cl = runtime.cluster
+        if self._next_slot >= self._capacity:
+            raise RuntimeError(
+                f"cluster is at capacity ({self._capacity} node slots); "
+                f"raise ClusterConfig(max_nodes=...)"
+            )
+        node = self._next_slot
+        self._next_slot += 1
+        live = tuple(sorted(self._live | {node}))
+        proc = self._ctx.Process(
+            target=_node_main,
+            args=(
+                node, runtime.app, runtime.store, runtime.config, cl,
+                self._fabric, self._epoch + 1, live,
+            ),
+            name=f"rocket-node{node}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs.append(proc)  # index == node id, always
+        self._live.add(node)
+        self._bump_epoch()
+        # Enroll into jobs already in flight: an empty share makes the
+        # node a steal target/thief and a cache peer immediately.
+        for job in self._active.values():
+            if job.stopped:
+                continue
+            job.participants.add(node)
+            packed = self._fabric.pack_job_payload(
+                (job.keys, job.pair_filter, [])
+            )
+            self._fabric.send_node(
+                node, ("job", job.job_id, packed, job.handle.max_inflight)
+            )
+        self._log.info("node joined", node=node, epoch=self._epoch)
+        return node
+
+    def _do_retire_node(self, node: Optional[int], drain: bool) -> int:
+        if node is None:
+            node = max(self._live)
+        if node not in self._live:
+            raise RuntimeError(f"node {node} is not a live cluster member")
+        if len(self._live) == 1:
+            raise RuntimeError("cannot retire the last live node")
+        self._live.discard(node)
+        self._retired.add(node)
+        for job in list(self._active.values()):
+            if node not in job.participants or node in job.forgiven_nodes:
+                continue
+            if node in job.reports:
+                continue  # already finished its part
+            job.recover_node(node, voluntary=True)
+            try:
+                self._fabric.send_node(node, ("stop", job.job_id, True))
+            except Exception:
+                pass
+        self._bump_epoch()
+        try:
+            self._fabric.send_node(node, ("shutdown",))
+        except Exception:
+            pass
+        self._log.info("node retired", node=node, epoch=self._epoch)
+        return node
+
     # ------------------------------------------------------------------
 
     def _serve(self) -> None:
@@ -1291,6 +1793,14 @@ class ClusterSession(BackendSession):
         cl = self._runtime.cluster
         fabric = self._fabric
         while True:
+            # 0. Membership commands from user threads run here, on the
+            #    coordinator thread, where all job state lives.
+            while True:
+                try:
+                    cmd = self._control.get_nowait()
+                except queue.Empty:
+                    break
+                self._do_control(cmd)
             # 1. Admit queued jobs (policy order) into the active set.
             if self._fatal is None:
                 for handle in self._scheduler.admit():
@@ -1349,12 +1859,12 @@ class ClusterSession(BackendSession):
             )
         self._log.info("job dispatched", job_id=job.job_id)
         try:
-            for node in range(self._runtime.cluster.n_nodes):
+            for node in sorted(job.participants):
                 # Each node's spec goes through the fabric's dispatch
                 # plane: inline on the queue transport, a shared-segment
                 # descriptor on shm — the message stays tiny either way.
                 packed = self._fabric.pack_job_payload(
-                    (job.keys, job.pair_filter, job.shares[node])
+                    (job.keys, job.pair_filter, job.shares.get(node, []))
                 )
                 self._fabric.send_node(
                     node, ("job", job.job_id, packed, handle.max_inflight)
@@ -1401,6 +1911,10 @@ class ClusterSession(BackendSession):
                 moved = job.accepted_count(block)
                 job.assigned[victim] = max(0, job.assigned[victim] - moved)
                 job.pending_steals.pop(key, None)
+                job.probing.pop(key, None)
+                # The grant provably moved this region off the victim:
+                # keep the recovery ownership map exact.
+                job._subtract_owned(victim, block)
                 job.grant(thief, req_id, block, moved)
             elif key in job.pending_steals:
                 job.advance_steal(key)
@@ -1449,7 +1963,7 @@ class ClusterSession(BackendSession):
             elif job.report_deadline is not None and now > job.report_deadline:
                 missing = sorted(
                     i
-                    for i in range(self._runtime.cluster.n_nodes)
+                    for i in job.participants
                     if i not in job.reports and i not in job.forgiven_nodes
                 )
                 self._mark_fatal(
@@ -1457,7 +1971,15 @@ class ClusterSession(BackendSession):
                 )
 
     def _check_dead_nodes(self) -> None:
-        """Handle worker-process death: forgive clean jobs, else fatal."""
+        """Handle worker-process death: forgive clean jobs, else fatal.
+
+        Elastic sessions instead evict the dead node from membership
+        and re-enqueue its unfinished blocks (:meth:`_recover_dead_node`)
+        — only losing the *last* node is fatal.
+        """
+        if self._elastic:
+            self._check_dead_nodes_elastic()
+            return
         dead = [
             (i, p) for i, p in enumerate(self._procs) if not p.is_alive()
         ]
@@ -1465,14 +1987,7 @@ class ClusterSession(BackendSession):
             return
         # Give any in-flight error/stats messages priority over the
         # generic crash report.
-        for _ in range(256):
-            late = self._fabric.recv_coordinator(0.001)
-            if late is None:
-                break
-            try:
-                self._dispatch(late)
-            except BaseException:
-                break
+        self._drain_late_messages()
         for i, p in dead:
             for job in list(self._active.values()):
                 if i in job.reports or i in job.forgiven_nodes:
@@ -1488,6 +2003,9 @@ class ClusterSession(BackendSession):
                         f"job {job.job_id} completed"
                     )
                     return
+            # Forgiven on every job: reclaim the dead node's payload
+            # segments now instead of holding them until session close.
+            self._fabric.release_node_segment(i)
         if not self._active and self._fatal is None:
             # No job was running: the session still cannot execute
             # future jobs with a node missing.
@@ -1495,6 +2013,69 @@ class ClusterSession(BackendSession):
             self._mark_fatal(
                 f"node {i} died unexpectedly (exit code {p.exitcode})"
             )
+
+    def _drain_late_messages(self) -> None:
+        """Pump straggler messages before acting on a process death."""
+        for _ in range(256):
+            late = self._fabric.recv_coordinator(0.001)
+            if late is None:
+                break
+            try:
+                self._dispatch(late)
+            except BaseException:
+                break
+
+    def _check_dead_nodes_elastic(self) -> None:
+        """Elastic death handling: evict, recover blocks, re-announce."""
+        dead = [
+            (i, self._procs[i])
+            for i in sorted(self._live)
+            if not self._procs[i].is_alive()
+        ]
+        if not dead:
+            return
+        # In-flight results beat the crash report: anything the dead
+        # node streamed before dying shrinks the recovery set.
+        self._drain_late_messages()
+        for i, p in dead:
+            self._log.warning(
+                "node %d died (exit code %s): recovering", i, p.exitcode
+            )
+            self._live.discard(i)
+            self._dead.add(i)
+            for job in list(self._active.values()):
+                if (
+                    i not in job.participants
+                    or i in job.reports
+                    or i in job.forgiven_nodes
+                ):
+                    continue
+                if (
+                    (job.stopped and job.error is None and job.completed == job.total_pairs)
+                    or job.cancelled
+                    or job.error is not None
+                ):
+                    # Nothing left to recover — only its report is owed.
+                    job.forgiven_nodes.add(i)
+                    continue
+                recovered = job.recover_node(i)
+                self._log.info(
+                    "job %d: re-injected %d pairs owned by dead node %d",
+                    job.job_id, recovered, i,
+                )
+            self._fabric.release_node_segment(i)
+        if not self._live:
+            self._mark_fatal("all cluster nodes died")
+            return
+        self._bump_epoch()
+        for job in list(self._active.values()):
+            if job.stopped or job.error is not None:
+                continue
+            if not any(
+                n in self._live and n not in job.forgiven_nodes
+                for n in job.participants
+            ):
+                job.fail("every node running this job died")
 
     def _mark_fatal(self, text: str) -> None:
         if self._fatal is None:
@@ -1584,18 +2165,19 @@ class ClusterSession(BackendSession):
             for kind, count in rep.message_kinds.items():
                 message_kinds[kind] = message_kinds.get(kind, 0) + count
 
-        aggregate_speed = float(sum(self._node_speeds))
+        participants = sorted(job.participants)
+        aggregate_speed = float(sum(self._node_speeds[n] for n in participants))
         reuse = loads / job.n_items
         model = calibration.model(
             n_items=job.n_items,
             aggregate_speed=aggregate_speed,
-            cpu_cores=cfg.cpu_workers * cl.n_nodes,
+            cpu_cores=cfg.cpu_workers * len(participants),
         )
         stats = ClusterRunStats(
             runtime=runtime_s,
             n_items=job.n_items,
             n_pairs=job.total_pairs,
-            n_nodes=cl.n_nodes,
+            n_nodes=len(participants),
             loads=loads,
             reuse_factor=reuse,
             throughput=job.total_pairs / runtime_s if runtime_s > 0 else 0.0,

@@ -339,6 +339,12 @@ class LocalSession(BackendSession):
             handle.cancel()
         self._wake.set()
         self._thread.join(timeout=30.0)
+        for handle in handles:
+            # Belt and braces: if the serve thread wedged (join timed
+            # out) a queued handle may still be unresolved — wait() on
+            # a closed session must never hang.
+            if not handle.done():
+                handle._finish(RunState.CANCELLED)
         self._engine.close()
         self._log.info("session closed")
 

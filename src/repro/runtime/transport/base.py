@@ -193,6 +193,15 @@ class TransportFabric(ABC):
     def handle_free(self, msg: Tuple) -> None:
         """Release a coordinator-owned payload slot (descriptor fabrics)."""
 
+    def release_node_segment(self, node: int) -> None:
+        """Unlink shared resources reserved for ``node`` (idempotent).
+
+        Called when a node leaves the cluster — crash, retirement —
+        so its out-of-band buffers (e.g. ``/dev/shm`` segments) are
+        reclaimed immediately instead of at session close.  Queue-style
+        fabrics hold nothing per-node out of band and keep the no-op.
+        """
+
 
 # ----------------------------------------------------------------------
 # Result batching

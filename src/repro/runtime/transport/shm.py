@@ -126,7 +126,13 @@ class SharedMemoryTransport(QueueTransport):
         """Copy the payload out of the owner's segment and release the slot."""
         if not isinstance(packed, ShmDescriptor):
             return packed
-        seg = self._attach_segment(packed.segment)
+        try:
+            seg = self._attach_segment(packed.segment)
+        except FileNotFoundError:
+            # The owner's segment was unlinked (the node left the
+            # cluster between its reply and our read): a clean miss —
+            # the caller falls back to a local load.
+            return None
         view = np.ndarray(
             packed.shape,
             dtype=np.dtype(packed.dtype),
@@ -230,7 +236,9 @@ class SharedMemoryFabric(QueueFabric):
         self._seg_by_name: Dict[str, shared_memory.SharedMemory] = {}
         self.segment_names: List[str] = []
         try:
-            for i in range(cluster.n_nodes):
+            # One segment per *slot* (see QueueFabric: elastic sessions
+            # pre-allocate room for nodes joining later).
+            for i in range(getattr(cluster, "capacity", cluster.n_nodes)):
                 seg = shared_memory.SharedMemory(
                     name=f"{self.SEGMENT_PREFIX}_{token}_n{i}",
                     create=True,
@@ -290,7 +298,10 @@ class SharedMemoryFabric(QueueFabric):
         if isinstance(block, ShmDescriptor):
             seg = self._owned_segment(block.segment)
             if seg is None:
-                raise ValueError(f"result block in unknown segment {block.segment!r}")
+                # The owning node's segment was already released (it
+                # left the cluster); the straggler block's pairs are
+                # recovered through re-injection, so drop it.
+                return ()
             view = np.ndarray(
                 block.shape, dtype=np.dtype(block.dtype), buffer=seg.buf, offset=block.offset
             )
@@ -314,6 +325,33 @@ class SharedMemoryFabric(QueueFabric):
             pool.free(offset)
         except ValueError:
             pass  # duplicate/late release; slot already reclaimed
+
+    def release_node_segment(self, node: int) -> None:
+        """Unlink a departed node's segment now, not at session close.
+
+        A SIGKILLed worker never unmaps anything itself; dropping the
+        coordinator's handle here removes the ``/dev/shm`` entry as
+        soon as the death is handled.  Survivors holding descriptors
+        into the segment see a clean miss (``unpack_payload`` treats
+        the vanished name as payload-gone).  Idempotent.
+        """
+        if not 0 <= node < len(self.segment_names):
+            return
+        seg = self._seg_by_name.pop(self.segment_names[node], None)
+        if seg is None:
+            return  # already released
+        try:
+            self._owned.remove(seg)
+        except ValueError:
+            pass
+        try:
+            seg.close()
+        except Exception:
+            pass
+        try:
+            seg.unlink()
+        except Exception:
+            pass
 
     def shutdown(self) -> None:
         super().shutdown()

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import (
     Callable,
+    Collection,
     Deque,
     Dict,
     Generic,
@@ -285,15 +286,26 @@ class VictimSelector:
         work = self.work_of(worker) if self.work_of is not None else 1.0
         return work / self.speeds[worker]
 
-    def candidates(self, worker: int) -> Iterator[int]:
-        """Yield steal victims for ``worker`` in preference order."""
+    def candidates(
+        self, worker: int, exclude: Collection[int] = ()
+    ) -> Iterator[int]:
+        """Yield steal victims for ``worker`` in preference order.
+
+        ``exclude`` drops specific workers from every tier — a probe
+        sent to a dead or departed victim can only time out, so elastic
+        runtimes pass the non-live set here.
+        """
         if worker < 0 or worker >= self.topology.n_workers:
             raise ValueError(f"unknown worker {worker}")
-        if self.hierarchical:
-            yield from self._ordered(self._local[worker])
-            yield from self._ordered(self._remote[worker])
+        if exclude:
+            keep = lambda tier: [w for w in tier if w not in exclude]  # noqa: E731
         else:
-            yield from self._ordered(self._local[worker] + self._remote[worker])
+            keep = lambda tier: tier  # noqa: E731
+        if self.hierarchical:
+            yield from self._ordered(keep(self._local[worker]))
+            yield from self._ordered(keep(self._remote[worker]))
+        else:
+            yield from self._ordered(keep(self._local[worker] + self._remote[worker]))
 
     def split_depth(self, thief: int, victim: int) -> int:
         """Split depth for a block ``thief`` steals from ``victim``.

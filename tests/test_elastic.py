@@ -1,0 +1,367 @@
+"""Chaos suite for elastic membership and fault-tolerant recovery.
+
+Kills real worker processes mid-job (SIGKILL — no cleanup, no
+goodbye), joins and retires nodes on a live session, and races
+cancellation against node death, asserting the invariant the tentpole
+promises: a completed job's ResultMatrix is value-identical to an
+undisturbed run, on both transports.
+"""
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cache.distributed import CandidateDirectory, mediator_of_live
+from repro.core.api import Application
+from repro.core.session import RunState
+from repro.core.workload import AllPairs
+from repro.data.filestore import InMemoryStore
+from repro.runtime.cluster import ClusterConfig, ClusterRocketRuntime
+from repro.runtime.localrocket import LocalRocketRuntime, RocketConfig
+from repro.runtime.transport.shm import SharedMemoryFabric
+from repro.scheduling.workstealing import VictimSelector, WorkerTopology
+from repro.util.rng import RngFactory
+
+
+def shm_segments():
+    """Names of this transport's segments currently visible in /dev/shm."""
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("/dev/shm not available on this platform")
+    return set(glob.glob(f"/dev/shm/{SharedMemoryFabric.SEGMENT_PREFIX}*"))
+
+
+class SlowSumApp(Application[str, float]):
+    """Deterministic toy app, slowed so kills land mid-job reliably."""
+
+    compare_delay = 0.004
+
+    def file_name(self, key):
+        return f"{key}.bin"
+
+    def parse(self, key, file_contents):
+        return np.frombuffer(file_contents, dtype=np.float64).copy()
+
+    def preprocess(self, key, parsed):
+        return parsed * 2.0
+
+    def compare(self, key_a, a, key_b, b):
+        if self.compare_delay:
+            time.sleep(self.compare_delay)
+        return np.asarray(float(a.sum() * b.sum()))
+
+    def postprocess(self, key_a, key_b, raw):
+        return float(raw)
+
+
+def make_store(n, floats=8):
+    store = InMemoryStore()
+    keys = []
+    for i in range(n):
+        key = f"item{i:02d}"
+        store.write(f"{key}.bin", np.full(floats, float(i + 1)).tobytes())
+        keys.append(key)
+    return store, keys
+
+
+CFG = dict(
+    n_devices=2,
+    device_cache_slots=8,
+    host_cache_slots=16,
+    leaf_size=2,
+    seed=11,
+    watchdog_seconds=120.0,
+)
+
+
+def cluster_cfg(transport, n_nodes=3, **kw):
+    kw.setdefault("fetch_timeout", 15.0)
+    kw.setdefault("steal_timeout", 5.0)
+    return ClusterConfig(
+        n_nodes=n_nodes, elastic=True, transport=transport, **kw
+    )
+
+
+def local_baseline(keys, store):
+    app = SlowSumApp()
+    app.compare_delay = 0.0
+    runtime = LocalRocketRuntime(app, store, RocketConfig(**CFG))
+    return runtime.run(keys)
+
+
+def assert_parity(results, baseline):
+    assert results.is_complete()
+    for a, b, v in baseline.items():
+        assert results.get(a, b) == v  # bit-identical: pure pipelines
+
+
+# ----------------------------------------------------------------------
+# Unit layer: the elastic building blocks
+
+
+class TestElasticPrimitives:
+    def test_mediator_of_live_spans_sparse_sets(self):
+        live = [0, 2, 5]
+        mediators = {mediator_of_live(i, live) for i in range(12)}
+        assert mediators == set(live)  # every live node mediates
+        # Deterministic: same inputs, same mediator, any call order.
+        assert mediator_of_live(7, [5, 0, 2]) == mediator_of_live(7, live)
+
+    def test_mediator_of_live_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            mediator_of_live(0, [])
+        with pytest.raises(ValueError):
+            mediator_of_live(-1, [0, 1])
+
+    def test_directory_evict_node_drops_every_candidate_entry(self):
+        d = CandidateDirectory(max_candidates=3)
+        d.lookup_and_record("a", 1)
+        d.lookup_and_record("a", 2)
+        d.lookup_and_record("b", 1)
+        assert d.evict_node(1) == 2
+        assert d.peek("a") == [2]
+        assert d.peek("b") == []
+        assert d.evict_node(1) == 0  # idempotent
+
+    def test_victim_selector_exclude_filters_every_tier(self):
+        topo = WorkerTopology.from_gpus_per_node([2, 2, 2])
+        sel = VictimSelector(topo, RngFactory(3).get("t"))
+        full = set(sel.candidates(0))
+        drop = {2, 3}  # node 1's workers
+        filtered = set(sel.candidates(0, exclude=drop))
+        assert filtered == full - drop
+        assert set(sel.candidates(0, exclude=full)) == set()
+
+    def test_cluster_config_capacity(self):
+        assert ClusterConfig(n_nodes=2).capacity == 2
+        assert ClusterConfig(n_nodes=2, elastic=True).capacity == 6
+        assert ClusterConfig(n_nodes=2, elastic=True, max_nodes=3).capacity == 3
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=4, max_nodes=2)
+
+    def test_non_elastic_session_rejects_membership_calls(self):
+        store, keys = make_store(4)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=ClusterConfig(n_nodes=2),
+        )
+        with runtime.open_session() as session:
+            with pytest.raises(RuntimeError, match="elastic"):
+                session.add_node()
+            with pytest.raises(RuntimeError, match="elastic"):
+                session.retire_node()
+
+
+# ----------------------------------------------------------------------
+# Chaos layer: real process kills on live sessions
+
+
+class TestNodeLossRecovery:
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_kill_one_node_mid_job_preserves_results(self, transport):
+        store, keys = make_store(14)
+        baseline = local_baseline(keys, store)
+        before = shm_segments() if transport == "shm" else None
+
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg(transport),
+        )
+        session = runtime.open_session()
+        try:
+            handle = session.submit(AllPairs(keys))
+            time.sleep(0.15)
+            os.kill(session._procs[1].pid, signal.SIGKILL)
+            results = handle.result()
+            assert_parity(results, baseline)
+            assert 1 not in session._live
+            # The session survives: a follow-up job runs on the others.
+            again = session.submit(AllPairs(keys)).result()
+            assert_parity(again, baseline)
+            if transport == "shm":
+                # The dead node's segment is unlinked at forgiveness
+                # time, not held until close.
+                time.sleep(0.2)
+                leaked = {s for s in shm_segments() if s.endswith("_n1")}
+                assert not leaked
+        finally:
+            session.close()
+        if transport == "shm":
+            assert shm_segments() == before  # nothing leaks past close
+
+    def test_kill_is_accounted_on_the_job(self):
+        store, keys = make_store(14)
+        baseline = local_baseline(keys, store)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg("queue"),
+        )
+        with runtime.open_session() as session:
+            handle = session.submit(AllPairs(keys))
+            time.sleep(0.15)
+            os.kill(session._procs[2].pid, signal.SIGKILL)
+            results = handle.result()
+            assert_parity(results, baseline)
+            acct = handle.accounting
+            assert acct.nodes_lost == 1
+            assert acct.pairs_recovered >= 0
+            record = acct.to_dict()
+            assert record["nodes_lost"] == 1
+
+    def test_losing_every_node_is_still_fatal(self):
+        store, keys = make_store(10)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg("queue", n_nodes=2),
+        )
+        session = runtime.open_session()
+        try:
+            handle = session.submit(AllPairs(keys))
+            time.sleep(0.1)
+            for proc in list(session._procs):
+                os.kill(proc.pid, signal.SIGKILL)
+            with pytest.raises(RuntimeError):
+                handle.result()
+        finally:
+            session.close()
+
+    def test_cancel_racing_a_node_death_resolves_cleanly(self):
+        store, keys = make_store(14)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg("queue"),
+        )
+        with runtime.open_session() as session:
+            handle = session.submit(AllPairs(keys))
+            time.sleep(0.1)
+            os.kill(session._procs[1].pid, signal.SIGKILL)
+            handle.cancel()
+            assert handle.wait(timeout=60.0)
+            assert handle.state in (RunState.CANCELLED, RunState.DONE)
+            # The survivors keep serving.
+            baseline = local_baseline(keys, store)
+            assert_parity(session.submit(AllPairs(keys)).result(), baseline)
+
+
+class TestElasticMembership:
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_join_mid_job_participates(self, transport):
+        store, keys = make_store(14)
+        baseline = local_baseline(keys, store)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg(transport, n_nodes=2),
+        )
+        with runtime.open_session() as session:
+            handle = session.submit(AllPairs(keys))
+            time.sleep(0.1)
+            new = session.add_node()
+            assert new == 2
+            assert new in session._live
+            results = handle.result()
+            assert_parity(results, baseline)
+            # The joiner was enrolled as a participant of the running
+            # job (its stats report is part of the job's aggregate).
+            assert handle.stats.n_nodes == 3
+            # And it serves jobs submitted after the join.
+            h2 = session.submit(AllPairs(keys))
+            assert_parity(h2.result(), baseline)
+            assert h2.stats.n_nodes == 3
+
+    def test_add_node_beyond_capacity_fails_cleanly(self):
+        store, keys = make_store(6)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg("queue", n_nodes=2, max_nodes=3),
+        )
+        with runtime.open_session() as session:
+            assert session.add_node() == 2
+            with pytest.raises(RuntimeError, match="capacity"):
+                session.add_node()
+            baseline = local_baseline(keys, store)
+            assert_parity(session.submit(AllPairs(keys)).result(), baseline)
+
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_retire_with_drain_loses_no_pairs(self, transport):
+        store, keys = make_store(14)
+        baseline = local_baseline(keys, store)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg(transport),
+        )
+        with runtime.open_session() as session:
+            handle = session.submit(AllPairs(keys))
+            time.sleep(0.1)
+            gone = session.retire_node()
+            assert gone == 2
+            assert gone not in session._live
+            assert not session._procs[gone].is_alive()
+            results = handle.result()
+            assert_parity(results, baseline)
+            # Voluntary departure is not a "lost" node.
+            assert handle.accounting.nodes_lost == 0
+            assert_parity(session.submit(AllPairs(keys)).result(), baseline)
+
+    def test_retiring_the_last_node_is_refused(self):
+        store, keys = make_store(4)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg("queue", n_nodes=2),
+        )
+        with runtime.open_session() as session:
+            session.retire_node(0)
+            with pytest.raises(RuntimeError, match="last live node"):
+                session.retire_node()
+
+    def test_churn_kill_and_join_same_job(self):
+        store, keys = make_store(14)
+        baseline = local_baseline(keys, store)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg("queue", n_nodes=2),
+        )
+        with runtime.open_session() as session:
+            handle = session.submit(AllPairs(keys))
+            time.sleep(0.1)
+            new = session.add_node()
+            os.kill(session._procs[0].pid, signal.SIGKILL)
+            results = handle.result()
+            assert_parity(results, baseline)
+            assert session._live == {1, new}
+
+
+# ----------------------------------------------------------------------
+# close() vs QUEUED handles (hang regression, both backends)
+
+
+class TestCloseResolvesQueuedHandles:
+    def test_cluster_close_resolves_queued_jobs(self):
+        store, keys = make_store(10)
+        runtime = ClusterRocketRuntime(
+            SlowSumApp(), store, RocketConfig(**CFG),
+            cluster=cluster_cfg("queue", n_nodes=2),
+        )
+        session = runtime.open_session()  # FIFO: later jobs queue
+        handles = [session.submit(AllPairs(keys)) for _ in range(4)]
+        session.close()
+        for handle in handles:
+            assert handle.wait(timeout=30.0)  # must never hang
+            assert handle.state in (
+                RunState.CANCELLED, RunState.DONE, RunState.FAILED,
+            )
+
+    def test_local_close_resolves_queued_jobs(self):
+        store, keys = make_store(10)
+        app = SlowSumApp()
+        runtime = LocalRocketRuntime(app, store, RocketConfig(**CFG))
+        session = runtime.open_session()
+        handles = [session.submit(AllPairs(keys)) for _ in range(4)]
+        session.close()
+        for handle in handles:
+            assert handle.wait(timeout=30.0)
+            assert handle.state in (
+                RunState.CANCELLED, RunState.DONE, RunState.FAILED,
+            )
