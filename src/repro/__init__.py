@@ -62,6 +62,7 @@ from repro.core import (
     RunHandle,
     RunState,
     SchedulingPolicy,
+    SessionClosed,
     Workload,
 )
 from repro.obs import MetricsRegistry, configure_logging, get_logger
@@ -85,6 +86,7 @@ __all__ = [
     "RunHandle",
     "RunState",
     "SchedulingPolicy",
+    "SessionClosed",
     "JobScheduler",
     "JobAccounting",
     "Workload",

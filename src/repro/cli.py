@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common entry points without writing code:
+Six subcommands cover the common entry points without writing code:
 
 - ``run`` — run one of the three paper applications end-to-end on
   synthetic data on a selectable execution backend (``local`` threads
@@ -8,6 +8,11 @@ Four subcommands cover the common entry points without writing code:
   (optionally saving the result matrix as JSON);
 - ``demo`` — shorthand for ``run --backend local`` (kept for
   compatibility);
+- ``serve`` — start the Rocket-as-a-service daemon: one warm session
+  on the selected backend, served to socket clients until SIGTERM
+  drains it (see :mod:`repro.serve`);
+- ``submit`` — submit a workload to a running ``serve`` daemon and
+  wait for the result (``--connect HOST:PORT``);
 - ``simulate`` — run a workload profile on a simulated cluster and
   print the report (optionally dumping a Chrome trace of the run);
 - ``profiles`` — print the Table 1 workload profiles.
@@ -27,7 +32,113 @@ from repro.sim.workload import PROFILES, scaled_profile
 from repro.util.tables import format_table
 from repro.util.trace import to_chrome_trace
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_run_arguments"]
+
+
+def _add_dataset_arguments(p: argparse.ArgumentParser) -> None:
+    """Flags selecting the synthetic data set and local device mix."""
+    p.add_argument("app", choices=["forensics", "bioinformatics", "microscopy"])
+    p.add_argument("--items", type=int, default=12, help="data set size")
+    p.add_argument("--devices", type=int, default=2, help="virtual GPUs per node")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--device-speeds", metavar="S,S,...", default=None,
+        help="comma-separated per-device speed factors (e.g. 1.0,0.25); "
+        "for the cluster backend, nodes*devices values give a per-node mix",
+    )
+    p.add_argument(
+        "--steal-policy", choices=["uniform", "speed"], default="uniform",
+        help="uniform: the paper's randomized stealing; speed: "
+        "heterogeneity-aware scheduling (speed-proportional partition, "
+        "remaining-work victim ranking, speed-scaled steals)",
+    )
+    p.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured runtime logs as JSON lines on stderr",
+    )
+
+
+def _add_backend_arguments(p: argparse.ArgumentParser) -> None:
+    """Flags selecting and configuring the execution backend."""
+    p.add_argument(
+        "--backend", choices=["local", "cluster"], default="local",
+        help="execution backend (cluster = one worker process per node)",
+    )
+    p.add_argument("--nodes", type=int, default=2, help="cluster node count")
+    p.add_argument(
+        "--hops", type=int, default=2,
+        help="distributed-cache forwarding bound h (cluster backend)",
+    )
+    p.add_argument(
+        "--no-distributed-cache", action="store_true",
+        help="disable the third cache level (cluster backend)",
+    )
+    p.add_argument(
+        "--transport", choices=["queue", "shm"], default="queue",
+        help="cluster data plane: pickled queues or zero-copy "
+        "shared-memory descriptors",
+    )
+    p.add_argument(
+        "--result-batch", type=int, default=64, metavar="N",
+        help="pair results per coordinator message (cluster backend)",
+    )
+    p.add_argument(
+        "--elastic", action="store_true",
+        help="elastic membership: survive node loss mid-job and "
+        "allow add_node()/retire_node() (cluster backend)",
+    )
+    p.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="pre-allocated node-slot capacity for --elastic "
+        "joins (default: nodes + 4)",
+    )
+
+
+def _add_shape_arguments(p: argparse.ArgumentParser, with_jobs_file: bool = True) -> None:
+    """The --bipartite/--delta workload shape flags (one-of group)."""
+    shape = p.add_mutually_exclusive_group()
+    shape.add_argument(
+        "--bipartite", type=int, default=None, metavar="N",
+        help="bipartite workload: compare the first N items (the query "
+        "set) against the remaining items (the reference corpus) "
+        "instead of computing all pairs",
+    )
+    shape.add_argument(
+        "--delta", type=int, default=None, metavar="N",
+        help="delta workload: treat the last N items as newly added and "
+        "compute only new-vs-old and new-vs-new pairs (incremental "
+        "corpus growth)",
+    )
+    if with_jobs_file:
+        shape.add_argument(
+            "--jobs-file", metavar="PATH", default=None,
+            help="run several jobs concurrently in one fair-sharing session: "
+            "a JSON list of objects, each {'workload': 'all'|'bipartite'|"
+            "'delta', 'n': N (split size, bipartite/delta only), "
+            "'priority': W, 'max_inflight': M} — priorities are "
+            "fair-share weights over the same synthetic data set",
+        )
+
+
+def add_run_arguments(p: argparse.ArgumentParser, with_backend: bool) -> None:
+    """The full ``run``/``demo`` flag set (data + shape + backend)."""
+    _add_dataset_arguments(p)
+    p.add_argument("--save", metavar="PATH", help="write the result matrix as JSON")
+    _add_shape_arguments(p)
+    p.add_argument(
+        "--priority", type=float, default=1.0, metavar="W",
+        help="fair-share weight of the submitted single job; with "
+        "--jobs-file set per-entry 'priority' keys instead (combining "
+        "the two is an error)",
+    )
+    p.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="profile the run and write the merged multi-process "
+        "Chrome/Perfetto trace JSON to PATH (load it in "
+        "chrome://tracing or ui.perfetto.dev)",
+    )
+    if with_backend:
+        _add_backend_arguments(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,99 +149,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_run_arguments(p: argparse.ArgumentParser, with_backend: bool) -> None:
-        p.add_argument("app", choices=["forensics", "bioinformatics", "microscopy"])
-        p.add_argument("--items", type=int, default=12, help="data set size")
-        p.add_argument("--devices", type=int, default=2, help="virtual GPUs per node")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--save", metavar="PATH", help="write the result matrix as JSON")
-        p.add_argument(
-            "--device-speeds", metavar="S,S,...", default=None,
-            help="comma-separated per-device speed factors (e.g. 1.0,0.25); "
-            "for the cluster backend, nodes*devices values give a per-node mix",
-        )
-        p.add_argument(
-            "--steal-policy", choices=["uniform", "speed"], default="uniform",
-            help="uniform: the paper's randomized stealing; speed: "
-            "heterogeneity-aware scheduling (speed-proportional partition, "
-            "remaining-work victim ranking, speed-scaled steals)",
-        )
-        shape = p.add_mutually_exclusive_group()
-        shape.add_argument(
-            "--bipartite", type=int, default=None, metavar="N",
-            help="bipartite workload: compare the first N items (the query "
-            "set) against the remaining items (the reference corpus) "
-            "instead of computing all pairs",
-        )
-        shape.add_argument(
-            "--delta", type=int, default=None, metavar="N",
-            help="delta workload: treat the last N items as newly added and "
-            "compute only new-vs-old and new-vs-new pairs (incremental "
-            "corpus growth)",
-        )
-        shape.add_argument(
-            "--jobs-file", metavar="PATH", default=None,
-            help="run several jobs concurrently in one fair-sharing session: "
-            "a JSON list of objects, each {'workload': 'all'|'bipartite'|"
-            "'delta', 'n': N (split size, bipartite/delta only), "
-            "'priority': W, 'max_inflight': M} — priorities are "
-            "fair-share weights over the same synthetic data set",
-        )
-        p.add_argument(
-            "--priority", type=float, default=1.0, metavar="W",
-            help="fair-share weight of the submitted single job; with "
-            "--jobs-file set per-entry 'priority' keys instead (combining "
-            "the two is an error)",
-        )
-        p.add_argument(
-            "--profile", metavar="PATH", default=None,
-            help="profile the run and write the merged multi-process "
-            "Chrome/Perfetto trace JSON to PATH (load it in "
-            "chrome://tracing or ui.perfetto.dev)",
-        )
-        p.add_argument(
-            "--log-json", action="store_true",
-            help="emit structured runtime logs as JSON lines on stderr",
-        )
-        if with_backend:
-            p.add_argument(
-                "--backend", choices=["local", "cluster"], default="local",
-                help="execution backend (cluster = one worker process per node)",
-            )
-            p.add_argument("--nodes", type=int, default=2, help="cluster node count")
-            p.add_argument(
-                "--hops", type=int, default=2,
-                help="distributed-cache forwarding bound h (cluster backend)",
-            )
-            p.add_argument(
-                "--no-distributed-cache", action="store_true",
-                help="disable the third cache level (cluster backend)",
-            )
-            p.add_argument(
-                "--transport", choices=["queue", "shm"], default="queue",
-                help="cluster data plane: pickled queues or zero-copy "
-                "shared-memory descriptors",
-            )
-            p.add_argument(
-                "--result-batch", type=int, default=64, metavar="N",
-                help="pair results per coordinator message (cluster backend)",
-            )
-            p.add_argument(
-                "--elastic", action="store_true",
-                help="elastic membership: survive node loss mid-job and "
-                "allow add_node()/retire_node() (cluster backend)",
-            )
-            p.add_argument(
-                "--max-nodes", type=int, default=None, metavar="N",
-                help="pre-allocated node-slot capacity for --elastic "
-                "joins (default: nodes + 4)",
-            )
-
     run = sub.add_parser("run", help="run a paper application on a selected backend")
     add_run_arguments(run, with_backend=True)
 
     demo = sub.add_parser("demo", help="run a paper application on synthetic data (local backend)")
     add_run_arguments(demo, with_backend=False)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the serving daemon: one warm session, many socket clients",
+    )
+    _add_dataset_arguments(serve)
+    _add_backend_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument(
+        "--port", type=int, default=7070,
+        help="listen port (0 = ephemeral, printed on startup)",
+    )
+    serve.add_argument(
+        "--tenants", metavar="PATH", default=None,
+        help="JSON tenant directory (weights + quotas); omitted = every "
+        "tenant admitted at weight 1 with no quotas",
+    )
+    serve.add_argument(
+        "--max-active", type=int, default=None, metavar="N",
+        help="session-wide cap on concurrently active jobs",
+    )
+    serve.add_argument(
+        "--result-ttl", type=float, default=900.0, metavar="SECONDS",
+        help="how long finished, unacknowledged job results stay fetchable",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a workload to a running serve daemon"
+    )
+    submit.add_argument(
+        "--connect", metavar="HOST:PORT", required=True,
+        help="address of the serving daemon",
+    )
+    submit.add_argument("--tenant", default="default", help="tenant identity")
+    _add_shape_arguments(submit, with_jobs_file=False)
+    submit.add_argument(
+        "--priority", type=float, default=1.0, metavar="W",
+        help="requested fair-share weight (multiplied by the tenant weight)",
+    )
+    submit.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="cap on this job's concurrently in-flight pair comparisons",
+    )
+    submit.add_argument("--save", metavar="PATH", help="write the result matrix as JSON")
 
     sim = sub.add_parser("simulate", help="run a workload on a simulated cluster")
     sim.add_argument("profile", choices=sorted(PROFILES))
@@ -310,8 +377,12 @@ def _run_jobs_file(
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.core.rocket import Rocket
+def _build_runtime(args: argparse.Namespace, profiling: bool = False):
+    """Shared ``run``/``serve`` setup: synthetic data + backend config.
+
+    Returns ``(app, store, keys, config, backend, options)`` ready for
+    a ``Rocket``/``RocketSession`` constructor.
+    """
     from repro.data.filestore import InMemoryStore
     from repro.runtime.localrocket import RocketConfig
     from repro.scheduling.workstealing import StealPolicy
@@ -333,7 +404,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         device_speed_factors=device_speeds,
         steal_policy=StealPolicy(args.steal_policy),
-        profiling=bool(args.profile),
+        profiling=profiling,
     )
 
     options = {}
@@ -350,6 +421,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             elastic=args.elastic,
             max_nodes=args.max_nodes,
         )
+    return app, store, keys, config, backend, options
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.rocket import Rocket
+
+    app, store, keys, config, backend, options = _build_runtime(
+        args, profiling=bool(args.profile)
+    )
     rocket = Rocket(app, store, config, backend=backend, **options)
     if getattr(args, "jobs_file", None):
         if args.priority != 1.0:
@@ -383,6 +463,80 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the serving daemon and block until SIGTERM drains it."""
+    from repro.core.session import RocketSession
+    from repro.serve import RocketServer, TenantDirectory
+
+    app, store, keys, config, backend, options = _build_runtime(args)
+    tenants = (
+        TenantDirectory.from_file(args.tenants)
+        if args.tenants
+        else TenantDirectory.permissive()
+    )
+    session = RocketSession(
+        app, store, config,
+        backend=backend, policy="fair", max_active=args.max_active,
+        **options,
+    )
+    try:
+        server = RocketServer(
+            session, keys,
+            host=args.host, port=args.port,
+            tenants=tenants, result_ttl=args.result_ttl,
+        )
+    except OSError as exc:
+        session.close()
+        print(f"cannot listen on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    # Machine-parseable startup line: the SIGTERM drain test and shell
+    # wrappers read the bound address (meaningful with --port 0).
+    print(f"serving on {server.address}", flush=True)
+    print(
+        f"  backend={backend} items={args.items} app={args.app} "
+        f"tenants={'directory' if args.tenants else 'permissive'}",
+        flush=True,
+    )
+    server.serve_forever()
+    print("daemon drained, exiting", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one workload to a running daemon and wait for the result."""
+    from repro.serve import RemoteJobFailed, ServeConnectionError, connect
+
+    try:
+        client = connect(args.connect, tenant=args.tenant)
+    except ServeConnectionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 3
+    with client:
+        keys = client.keys()
+        workload = _make_workload(keys, args.bipartite, args.delta)
+        try:
+            handle = client.submit(
+                workload, priority=args.priority, max_inflight=args.max_inflight
+            )
+            print(f"job {handle.job_id}: {workload.describe()} (tenant {args.tenant})")
+            results = handle.result()
+        except ServeConnectionError as exc:
+            print(f"connection lost: {exc}", file=sys.stderr)
+            return 3
+        except RemoteJobFailed as exc:
+            print(f"job failed on the daemon: {exc}", file=sys.stderr)
+            return 1
+        status = handle.status()
+        print(f"  {status['pairs_done']}/{status['pairs_total']} pairs")
+        for a, b, v in list(results.items())[:5]:
+            print(f"  {a} vs {b}: {v:+.4f}")
+        if args.save:
+            save_results(results, args.save)
+            print(f"results written to {args.save}")
+        handle.ack()
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     profile = scaled_profile(PROFILES[args.profile], args.items)
     spec = ClusterSpec.homogeneous(
@@ -413,6 +567,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profiles()
     if args.command in ("run", "demo"):
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -23,7 +23,7 @@ from repro.core.buffers import HostBuffer, DeviceBuffer
 from repro.core.result import ResultMatrix
 from repro.core.rocket import Rocket, RocketConfig
 from repro.core.scheduler import JobAccounting, JobScheduler, SchedulingPolicy
-from repro.core.session import RocketSession, RunHandle, RunState
+from repro.core.session import RocketSession, RunHandle, RunState, SessionClosed
 from repro.core.workload import (
     AllPairs,
     Bipartite,
@@ -42,6 +42,7 @@ __all__ = [
     "RocketSession",
     "RunHandle",
     "RunState",
+    "SessionClosed",
     "SchedulingPolicy",
     "JobScheduler",
     "JobAccounting",

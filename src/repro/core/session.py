@@ -53,7 +53,23 @@ from typing import Any, Callable, Deque, Iterator, Optional, Tuple
 from repro.core.result import ResultMatrix
 from repro.core.workload import Workload, as_workload
 
-__all__ = ["RunState", "RunHandle", "RocketSession"]
+__all__ = ["RunState", "RunHandle", "RocketSession", "SessionClosed"]
+
+
+class SessionClosed(RuntimeError):
+    """The session is closed (or another thread is closing it).
+
+    Raised by ``submit()`` on a closed session, by ``close()`` when the
+    session was already closed — a double close is almost always a
+    lifecycle bug in the caller, and silently ignoring it used to let
+    two concurrent ``close()`` calls race the backend teardown — and by
+    a ``submit()`` that lost the race against a concurrent ``close()``
+    (its handle resolves CANCELLED before this is raised, so ``wait()``
+    on it can never hang).  Subclasses ``RuntimeError`` so existing
+    ``except RuntimeError`` call sites keep working.  Context-manager
+    exits suppress it: ``with`` blocks that close their session early
+    stay valid.
+    """
 
 
 class RunState(enum.Enum):
@@ -399,7 +415,12 @@ class RocketSession:
         return self._session.retire_node(node, drain=drain)
 
     def close(self) -> None:
-        """Tear down the backend (cancels queued and running jobs)."""
+        """Tear down the backend (cancels queued and running jobs).
+
+        Exactly one caller performs the teardown; a second ``close()``
+        — concurrent or sequential — raises :class:`SessionClosed`
+        instead of racing the backend shutdown.
+        """
         self._session.close()
 
     @property
@@ -410,4 +431,7 @@ class RocketSession:
         return self
 
     def __exit__(self, *exc) -> None:
-        self.close()
+        try:
+            self.close()
+        except SessionClosed:
+            pass  # closed early inside the with block

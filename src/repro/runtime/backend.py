@@ -78,7 +78,14 @@ class BackendSession(ABC):
 
     @abstractmethod
     def close(self) -> None:
-        """Shut the session down (idempotent)."""
+        """Shut the session down.
+
+        Exactly one caller wins: the session is torn down once, and any
+        further ``close()`` — concurrent or sequential — raises
+        :class:`~repro.core.session.SessionClosed` instead of racing
+        the teardown.  Context-manager exit suppresses that error, so
+        ``with`` blocks that close early remain valid.
+        """
 
     @property
     @abstractmethod
@@ -123,7 +130,12 @@ class BackendSession(ABC):
         return self
 
     def __exit__(self, *exc) -> None:
-        self.close()
+        from repro.core.session import SessionClosed
+
+        try:
+            self.close()
+        except SessionClosed:
+            pass  # closed early inside the with block
 
 
 class RocketBackend(ABC):

@@ -83,7 +83,7 @@ from repro.cache.distributed import (
 )
 from repro.core.api import Application
 from repro.core.scheduler import JobScheduler, coerce_policy
-from repro.core.session import RunHandle, RunState
+from repro.core.session import RunHandle, RunState, SessionClosed
 from repro.core.workload import Workload
 from repro.data.filestore import FileStore
 from repro.model.perfmodel import StageCalibration
@@ -1570,7 +1570,7 @@ class ClusterSession(BackendSession):
         """
         with self._lock:
             if self._closed:
-                raise RuntimeError("session is closed")
+                raise SessionClosed("session is closed")
             if self._fatal is not None:
                 raise RuntimeError(f"session is dead: {self._fatal}")
         # Heavy per-workload work — pickling, the handle's accepted-pair
@@ -1596,7 +1596,7 @@ class ClusterSession(BackendSession):
                 # hook is synchronous) and report the session state.
                 handle.cancel()
                 if self._closed:
-                    raise RuntimeError("session is closed")
+                    raise SessionClosed("session is closed")
                 raise RuntimeError(f"session is dead: {self._fatal}")
         return handle
 
@@ -1605,10 +1605,16 @@ class ClusterSession(BackendSession):
         return self._closed
 
     def close(self) -> None:
-        """Stop the workers, join the processes, unlink shared state."""
+        """Stop the workers, join the processes, unlink shared state.
+
+        The first caller performs the teardown; any other ``close()``
+        — a double close, or a second thread racing this one — raises
+        :class:`~repro.core.session.SessionClosed` instead of running
+        the worker shutdown and fabric unlink twice.
+        """
         with self._lock:
             if self._closed:
-                return
+                raise SessionClosed("session is already closed")
             self._closed = True
             handles = self._scheduler.queued_handles() + self._scheduler.active_handles()
         for handle in handles:
@@ -1647,7 +1653,7 @@ class ClusterSession(BackendSession):
             )
         with self._lock:
             if self._closed:
-                raise RuntimeError("session is closed")
+                raise SessionClosed("session is closed")
             if self._fatal is not None:
                 raise RuntimeError(f"session is dead: {self._fatal}")
 

@@ -23,7 +23,7 @@ from repro.cache.policy import EvictionPolicy
 from repro.cache.slots import CacheCounters
 from repro.core.api import Application
 from repro.core.scheduler import JobScheduler, SchedulingPolicy, coerce_policy
-from repro.core.session import RunHandle, RunState
+from repro.core.session import RunHandle, RunState, SessionClosed
 from repro.core.workload import Workload
 from repro.data.filestore import FileStore
 from repro.model.perfmodel import StageCalibration
@@ -300,7 +300,7 @@ class LocalSession(BackendSession):
         """Queue a workload; returns its handle immediately (QUEUED)."""
         with self._lock:
             if self._closed:
-                raise RuntimeError("session is closed")
+                raise SessionClosed("session is closed")
         # All per-workload heavy lifting runs on the submitting thread,
         # outside the session lock: the serve loop (which takes the
         # same lock every iteration) keeps granting to co-running jobs
@@ -318,7 +318,7 @@ class LocalSession(BackendSession):
                 # this handle, so resolve it here (the queued hook makes
                 # this synchronous) and report the closure.
                 handle.cancel()
-                raise RuntimeError("session is closed")
+                raise SessionClosed("session is closed")
         self._wake.set()
         return handle
 
@@ -327,10 +327,16 @@ class LocalSession(BackendSession):
         return self._closed
 
     def close(self) -> None:
-        """Cancel outstanding jobs and tear the engine down."""
+        """Cancel outstanding jobs and tear the engine down.
+
+        The first caller performs the teardown; any other ``close()``
+        — a double close, or a second thread racing this one — raises
+        :class:`~repro.core.session.SessionClosed` instead of running
+        the shutdown sequence twice against the shared engine.
+        """
         with self._lock:
             if self._closed:
-                return
+                raise SessionClosed("session is already closed")
             self._closed = True
             handles = self._scheduler.queued_handles() + self._scheduler.active_handles()
         for handle in handles:

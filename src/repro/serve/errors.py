@@ -1,0 +1,69 @@
+"""Exception vocabulary shared by the serving daemon and its clients.
+
+Server-side handlers raise these; the protocol layer encodes them as
+``{"ok": false, "error": CODE, "message": ...}`` responses, and the
+client decodes the code back into the *same* class — a quota rejection
+is a :class:`QuotaExceeded` on both sides of the socket.
+
+:class:`ServeConnectionError` is different: it never crosses the wire.
+It wraps transport-level failures (connection refused, reset,
+mid-frame EOF) on the client, and subclasses :class:`ConnectionError`
+so callers can catch networking trouble separately from server-side
+rejections (all :class:`ServeError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "ProtocolError",
+    "UnknownTenant",
+    "UnknownJob",
+    "QuotaExceeded",
+    "ServerDraining",
+    "RemoteJobFailed",
+    "ServeConnectionError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every server-side rejection."""
+
+
+class ProtocolError(ServeError):
+    """Malformed frame or message — the connection cannot continue."""
+
+
+class UnknownTenant(ServeError):
+    """The ``hello`` named a tenant the directory does not know."""
+
+
+class UnknownJob(ServeError):
+    """No retained job under that id for this tenant.
+
+    Raised both for ids that never existed and for jobs whose results
+    were already released (acked, or past the retention TTL) — the two
+    are indistinguishable by design, the registry keeps no tombstones.
+    """
+
+
+class QuotaExceeded(ServeError):
+    """The tenant's ``max_active`` or pending-pair quota is exhausted."""
+
+
+class ServerDraining(ServeError):
+    """The daemon is draining (SIGTERM): no new submissions."""
+
+
+class RemoteJobFailed(RuntimeError):
+    """A served job ended FAILED; the message carries the remote error.
+
+    The original exception type cannot be reconstructed across the
+    JSON wire, so ``result()`` on a failed served job raises this with
+    the remote ``type: message`` text where the in-process
+    :class:`~repro.core.session.RunHandle` would re-raise the original.
+    """
+
+
+class ServeConnectionError(ConnectionError):
+    """Client-side transport failure (refused, reset, mid-frame EOF)."""

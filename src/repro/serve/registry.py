@@ -1,0 +1,251 @@
+"""Served-job state that outlives the submitting connection.
+
+An in-process :class:`~repro.core.session.RunHandle` lives exactly as
+long as the Python object the submitter holds.  A served job must not:
+the client's socket may drop mid-run (laptop lid, network blip,
+process restart) and the whole point of the daemon is that the job
+keeps executing and its results stay fetchable.  The
+:class:`JobRegistry` is that durability layer:
+
+- every submission becomes a :class:`JobRecord` addressed by a job id
+  (``"j-000042"``) scoped to its tenant — any later connection of the
+  same tenant can reattach by id;
+- a per-job **drainer thread** is the handle's single
+  :meth:`~repro.core.session.RunHandle.stream` consumer, copying
+  arrival-ordered ``(key_a, key_b, value)`` triples into the record —
+  so *any number* of clients can (re)stream from any cursor at any
+  time, which an in-process handle (exactly-once across consumers)
+  cannot offer;
+- finished records are **retained** until the tenant acknowledges them
+  (``ack``) or a TTL expires, whichever comes first — a reconnect
+  hours later finds nothing, a reconnect within the window finds the
+  full :class:`~repro.core.result.ResultMatrix`.
+
+The registry never talks to the backend: cancellation, progress and
+results all flow through the wrapped handle, so everything the
+in-process session guarantees (exactly-once recording, cancel
+isolation, accounting) holds unchanged for served jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.session import RunHandle, RunState
+from repro.serve.errors import UnknownJob
+
+__all__ = ["JobRecord", "JobRegistry"]
+
+#: Default seconds a finished, unacknowledged job's results stay
+#: fetchable.  Chosen for interactive reconnects (minutes, not hours);
+#: daemons serving batch tenants should raise it.
+DEFAULT_RESULT_TTL = 900.0
+
+
+class JobRecord:
+    """One served job: the handle plus its replayable result log."""
+
+    def __init__(self, job_id: str, tenant: str, handle: RunHandle) -> None:
+        self.job_id = job_id
+        self.tenant = tenant
+        self.handle = handle
+        self.created_at = time.monotonic()
+        #: ``time.monotonic()`` of the terminal transition (None while
+        #: live); the retention clock starts here.
+        self.finished_at: Optional[float] = None
+        self.acked = False
+        self._cond = threading.Condition()
+        self._triples: List[Tuple[Any, Any, Any]] = []
+        self._drainer = threading.Thread(
+            target=self._drain, name=f"rocket-serve-{job_id}", daemon=True
+        )
+        self._drainer.start()
+
+    # -- drainer ---------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Single stream consumer: handle arrival order -> replayable log."""
+        try:
+            for triple in self.handle.stream():
+                with self._cond:
+                    self._triples.append(triple)
+                    self._cond.notify_all()
+        except BaseException:
+            # A FAILED job raises its error at the end of the stream;
+            # the state machine (handle.state / error text) is the
+            # canonical surface, the drainer only moves triples.
+            pass
+        self.handle.wait()
+        with self._cond:
+            self.finished_at = time.monotonic()
+            self._cond.notify_all()
+
+    # -- read side -------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.handle.done()
+
+    def triple_count(self) -> int:
+        with self._cond:
+            return len(self._triples)
+
+    def read_triples(
+        self, cursor: int, limit: int, wait: float = 0.0
+    ) -> Tuple[List[Tuple[Any, Any, Any]], bool]:
+        """Up to ``limit`` triples from ``cursor`` on, long-poll style.
+
+        Blocks up to ``wait`` seconds for new triples (or the terminal
+        state) when the cursor is at the log's end.  Returns the chunk
+        plus a ``drained`` flag: True once the job is terminal *and*
+        the returned chunk reaches the end of the log — the client's
+        stream iterator ends there.
+        """
+        if cursor < 0:
+            raise UnknownJob(f"negative stream cursor {cursor}")
+        deadline = time.monotonic() + max(0.0, wait)
+        with self._cond:
+            while len(self._triples) <= cursor and self.finished_at is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            chunk = self._triples[cursor:cursor + limit]
+            drained = (
+                self.finished_at is not None
+                and cursor + len(chunk) >= len(self._triples)
+            )
+            return chunk, drained
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until the drainer published the terminal state."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self.finished_at is not None, timeout=timeout
+            )
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-dumpable live status of this job."""
+        done_pairs, total_pairs = self.handle.progress()
+        acct = self.handle.accounting
+        error = self.handle._error
+        return {
+            "job": self.job_id,
+            "tenant": self.tenant,
+            "state": self.handle.state.value,
+            "pairs_done": done_pairs,
+            "pairs_total": total_pairs,
+            "streamed": self.triple_count(),
+            "accounting": acct.to_dict() if acct is not None else None,
+            "error": f"{type(error).__name__}: {error}" if error is not None else None,
+        }
+
+
+class JobRegistry:
+    """Tenant-scoped job records with ack/TTL retention."""
+
+    def __init__(self, result_ttl: float = DEFAULT_RESULT_TTL) -> None:
+        if result_ttl <= 0:
+            raise ValueError(f"result_ttl must be positive, got {result_ttl}")
+        self.result_ttl = result_ttl
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._ids = itertools.count()
+
+    # -- write side ------------------------------------------------------
+
+    def register(self, tenant: str, handle: RunHandle) -> JobRecord:
+        """Wrap a freshly submitted handle; starts its drainer."""
+        with self._lock:
+            job_id = f"j-{next(self._ids):06d}"
+        record = JobRecord(job_id, tenant, handle)
+        with self._lock:
+            self._jobs[job_id] = record
+        return record
+
+    def ack(self, tenant: str, job_id: str) -> bool:
+        """Release a finished job's retention; True if purged now.
+
+        Acking a still-running job just marks it — the record is purged
+        on the first sweep after it finishes.
+        """
+        record = self.get(tenant, job_id)
+        record.acked = True
+        if record.done:
+            with self._lock:
+                self._jobs.pop(job_id, None)
+            return True
+        return False
+
+    def purge_expired(self, now: Optional[float] = None) -> int:
+        """Drop finished records past their TTL (or acked); returns count."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            expired = [
+                job_id
+                for job_id, rec in self._jobs.items()
+                if rec.finished_at is not None
+                and (rec.acked or now - rec.finished_at > self.result_ttl)
+            ]
+            for job_id in expired:
+                del self._jobs[job_id]
+        return len(expired)
+
+    # -- read side -------------------------------------------------------
+
+    def get(self, tenant: str, job_id: str) -> JobRecord:
+        """The tenant's record under ``job_id``.
+
+        Tenant isolation is enforced here: another tenant's job id
+        raises the same :class:`UnknownJob` as a nonexistent one, so
+        ids leak no cross-tenant information.
+        """
+        with self._lock:
+            record = self._jobs.get(job_id)
+        if record is None or record.tenant != tenant:
+            raise UnknownJob(
+                f"no retained job {job_id!r} for tenant {tenant!r} "
+                f"(finished jobs are released on ack or after "
+                f"{self.result_ttl:.0f}s)"
+            )
+        return record
+
+    def jobs_of(self, tenant: str) -> List[JobRecord]:
+        """The tenant's retained records, oldest first."""
+        with self._lock:
+            records = [r for r in self._jobs.values() if r.tenant == tenant]
+        return sorted(records, key=lambda r: r.job_id)
+
+    def live_records(self, tenant: Optional[str] = None) -> List[JobRecord]:
+        """Non-terminal records (all tenants, or one)."""
+        with self._lock:
+            return [
+                r
+                for r in self._jobs.values()
+                if not r.done and (tenant is None or r.tenant == tenant)
+            ]
+
+    def pending_pairs(self, tenant: str) -> int:
+        """Summed accepted pairs of the tenant's live jobs (quota input)."""
+        return sum(r.handle.workload.n_pairs for r in self.live_records(tenant))
+
+    def counts(self) -> Dict[str, int]:
+        """``{"live": ..., "retained": ...}`` for health reporting."""
+        with self._lock:
+            live = sum(1 for r in self._jobs.values() if not r.done)
+            return {"live": live, "retained": len(self._jobs) - live}
+
+    def cancel_live(self) -> List[JobRecord]:
+        """Request cancellation of every live job; returns the records."""
+        live = self.live_records()
+        for record in live:
+            record.handle.cancel()
+        return live
+
+    def unfinished(self) -> List[JobRecord]:
+        """Records whose drainer has not published a terminal state."""
+        with self._lock:
+            return [r for r in self._jobs.values() if r.finished_at is None]

@@ -1,0 +1,170 @@
+"""Multi-tenant identity, priority weights and admission quotas.
+
+The serving daemon maps tenants onto the session's FAIR
+:class:`~repro.core.scheduler.JobScheduler` with two mechanisms:
+
+- **weight** — every submission's requested ``priority`` is multiplied
+  by the tenant's weight before it reaches the scheduler, so the
+  stride hand-out gives a weight-3 tenant three times the device share
+  of a weight-1 tenant at equal requested priority.  Weights compose
+  with priorities exactly like priorities compose with each other: the
+  scheduler only ever sees the product.
+- **quotas** — enforced at admission, before the session is touched:
+  ``max_active`` caps the tenant's simultaneously live (non-terminal)
+  jobs, ``max_pending_pairs`` caps the total accepted pairs of those
+  jobs, so one tenant can neither monopolize the ``max_active`` job
+  slots nor park an unbounded pair backlog in the queue.
+
+A :class:`TenantDirectory` resolves connection ``hello`` names to
+:class:`TenantConfig` entries, loaded from a JSON document::
+
+    {"tenants": [
+        {"name": "alice", "weight": 3.0, "max_active": 4},
+        {"name": "bob", "weight": 1.0, "max_pending_pairs": 2000}
+     ],
+     "allow_unknown": true,
+     "default": {"weight": 1.0, "max_active": 8}}
+
+``allow_unknown`` (default true) admits names missing from the list
+under the ``default`` template — the permissive single-team setup;
+``"allow_unknown": false`` turns the directory into an allow-list.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional
+
+from repro.serve.errors import UnknownTenant
+
+__all__ = ["TenantConfig", "TenantDirectory"]
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's scheduling weight and admission quotas."""
+
+    name: str
+    #: Fair-share multiplier applied to every submission's priority.
+    weight: float = 1.0
+    #: Cap on simultaneously live (non-terminal) jobs; None = unlimited.
+    max_active: Optional[int] = None
+    #: Cap on the summed accepted pairs of live jobs; None = unlimited.
+    max_pending_pairs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.weight > 0:
+            raise ValueError(f"tenant weight must be positive, got {self.weight}")
+        if self.max_active is not None and self.max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {self.max_active}")
+        if self.max_pending_pairs is not None and self.max_pending_pairs < 1:
+            raise ValueError(
+                f"max_pending_pairs must be >= 1, got {self.max_pending_pairs}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-dumpable form (shipped back in the ``hello`` response)."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "max_active": self.max_active,
+            "max_pending_pairs": self.max_pending_pairs,
+        }
+
+
+def _config_from_spec(spec: Dict[str, Any], name: Optional[str] = None) -> TenantConfig:
+    if not isinstance(spec, dict):
+        raise ValueError(f"tenant spec must be a JSON object, got {type(spec).__name__}")
+    unknown = set(spec) - {"name", "weight", "max_active", "max_pending_pairs"}
+    if unknown:
+        raise ValueError(f"unknown tenant spec keys {sorted(unknown)}")
+    resolved = name if name is not None else spec.get("name")
+    if not resolved:
+        raise ValueError("tenant spec needs a 'name'")
+    return TenantConfig(
+        name=resolved,
+        weight=float(spec.get("weight", 1.0)),
+        max_active=spec.get("max_active"),
+        max_pending_pairs=spec.get("max_pending_pairs"),
+    )
+
+
+class TenantDirectory:
+    """Name -> :class:`TenantConfig` resolution for the daemon."""
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantConfig] = (),
+        *,
+        allow_unknown: bool = True,
+        default: Optional[TenantConfig] = None,
+    ) -> None:
+        self._tenants: Dict[str, TenantConfig] = {}
+        for tenant in tenants:
+            if tenant.name in self._tenants:
+                raise ValueError(f"duplicate tenant {tenant.name!r}")
+            self._tenants[tenant.name] = tenant
+        self.allow_unknown = allow_unknown
+        #: Template applied to names missing from the directory (its
+        #: ``name`` field is replaced by the connecting name).
+        self.default = default if default is not None else TenantConfig("default")
+
+    @classmethod
+    def permissive(cls) -> "TenantDirectory":
+        """The no-config default: every name admitted at weight 1."""
+        return cls()
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TenantDirectory":
+        """Build a directory from the JSON document shape (see module doc)."""
+        if not isinstance(doc, dict):
+            raise ValueError(f"tenant config must be a JSON object, got {type(doc).__name__}")
+        unknown = set(doc) - {"tenants", "allow_unknown", "default"}
+        if unknown:
+            raise ValueError(f"unknown tenant config keys {sorted(unknown)}")
+        specs = doc.get("tenants", [])
+        if not isinstance(specs, list):
+            raise ValueError("'tenants' must be a list of tenant objects")
+        default_spec = doc.get("default", {})
+        return cls(
+            [_config_from_spec(spec) for spec in specs],
+            allow_unknown=bool(doc.get("allow_unknown", True)),
+            default=_config_from_spec(dict(default_spec, name="default")),
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "TenantDirectory":
+        """Load the JSON tenant configuration at ``path``."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def resolve(self, name: str) -> TenantConfig:
+        """The tenant configuration for a connecting ``hello`` name.
+
+        Unknown names inherit the ``default`` template when
+        ``allow_unknown`` is set, and raise :class:`UnknownTenant`
+        otherwise.
+        """
+        if not name or not isinstance(name, str):
+            raise UnknownTenant(f"tenant name must be a non-empty string, got {name!r}")
+        tenant = self._tenants.get(name)
+        if tenant is not None:
+            return tenant
+        if not self.allow_unknown:
+            raise UnknownTenant(
+                f"unknown tenant {name!r}; the daemon's tenant directory is "
+                f"an allow-list"
+            )
+        d = self.default
+        return TenantConfig(
+            name=name,
+            weight=d.weight,
+            max_active=d.max_active,
+            max_pending_pairs=d.max_pending_pairs,
+        )

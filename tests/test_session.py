@@ -26,7 +26,7 @@ import pytest
 
 from repro.core.result import ResultMatrix
 from repro.core.rocket import Rocket
-from repro.core.session import RocketSession, RunState
+from repro.core.session import RocketSession, RunState, SessionClosed
 from repro.core.workload import (
     AllPairs,
     Bipartite,
@@ -377,9 +377,11 @@ class TestLocalSession:
         session = make_backend("local", store).open_session()
         session.close()
         assert session.closed
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(SessionClosed):
             session.submit(AllPairs(keys))
-        session.close()  # idempotent
+        # A double close is a lifecycle bug: loud, not silently ignored.
+        with pytest.raises(SessionClosed):
+            session.close()
 
     def test_rocket_session_facade(self):
         store, keys = make_store(8)
