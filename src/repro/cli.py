@@ -15,7 +15,10 @@ Six subcommands cover the common entry points without writing code:
   wait for the result (``--connect HOST:PORT``);
 - ``simulate`` — run a workload profile on a simulated cluster and
   print the report (optionally dumping a Chrome trace of the run);
-- ``profiles`` — print the Table 1 workload profiles.
+- ``profiles`` — print the Table 1 workload profiles;
+- ``store`` — inspect (``stats``) or shrink (``gc``) a persistent
+  cross-session store directory (see :mod:`repro.store`; enable one on
+  a run with ``--store-dir``).
 """
 
 from __future__ import annotations
@@ -55,6 +58,13 @@ def _add_dataset_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--log-json", action="store_true",
         help="emit structured runtime logs as JSON lines on stderr",
+    )
+    p.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="persistent cross-session store under DIR: preprocessed "
+        "item payloads are reused on warm start and already-computed "
+        "pairs are served without recomputation ('repro store stats' "
+        "inspects it, 'repro store gc' shrinks it)",
     )
 
 
@@ -213,6 +223,26 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
 
     sub.add_parser("profiles", help="print the Table 1 workload profiles")
+
+    store = sub.add_parser(
+        "store", help="inspect or shrink a persistent store directory"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="print size and count statistics for both store planes"
+    )
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="delete oldest item payloads (then dead memo segments) "
+        "until the directory fits a size budget",
+    )
+    for p in (store_stats, store_gc):
+        p.add_argument("--store-dir", metavar="DIR", required=True)
+        p.add_argument("--json", action="store_true", help="machine-readable output")
+    store_gc.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="target size budget for the store directory",
+    )
     return parser
 
 
@@ -405,6 +435,7 @@ def _build_runtime(args: argparse.Namespace, profiling: bool = False):
         device_speed_factors=device_speeds,
         steal_policy=StealPolicy(args.steal_policy),
         profiling=profiling,
+        store_dir=args.store_dir,
     )
 
     options = {}
@@ -453,7 +484,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.profile:
         print(f"profile trace written to {args.profile}")
     print(workload.describe())
-    print(rocket.last_stats.summary())
+    stats = rocket.last_stats
+    if stats is not None:
+        print(stats.summary())
+    else:
+        # Fully memoized run: every pair came out of --store-dir and
+        # the backend never executed a job.
+        print("all pairs served from the persistent store; nothing recomputed")
     sample = list(results.items())[:5]
     for a, b, v in sample:
         print(f"  {a} vs {b}: {v:+.4f}")
@@ -537,6 +574,44 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Inspect or garbage-collect a persistent store directory."""
+    from repro.store import RocketStore
+
+    store = RocketStore(args.store_dir)
+    try:
+        if args.store_command == "gc":
+            try:
+                report = store.gc(args.max_bytes)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+            if args.json:
+                print(json.dumps(report, sort_keys=True))
+            else:
+                print(
+                    f"deleted {report['deleted_items']} item payloads and "
+                    f"{report['deleted_segments']} memo segments "
+                    f"({report['freed_bytes']} bytes freed)"
+                )
+            return 0
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True))
+        else:
+            items, memo = stats["items"], stats["memo"]
+            print(f"store {args.store_dir}")
+            print(f"  items:  {items['count']} payloads, {items['bytes']} bytes")
+            print(
+                f"  memo:   {memo['records']} records in "
+                f"{memo['segments']} segments, {memo['bytes']} bytes"
+            )
+            print(f"  hashes: {stats['hashes']['cached']} cached")
+            print(f"  total:  {stats['total_bytes']} bytes")
+        return 0
+    finally:
+        store.close()
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     profile = scaled_profile(PROFILES[args.profile], args.items)
     spec = ClusterSpec.homogeneous(
@@ -573,6 +648,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_submit(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "store":
+        return _cmd_store(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

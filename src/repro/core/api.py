@@ -32,6 +32,13 @@ class Application(ABC, Generic[K, R]):
     the per-pair result type (e.g. a correlation score).
     """
 
+    #: Version tag of this application's load/compare pipeline.  Bump it
+    #: whenever ``parse``/``preprocess``/``compare``/``postprocess``
+    #: change meaning: the persistent store keys payloads and memoized
+    #: results on :meth:`fingerprint`, so a bump invalidates everything
+    #: cached under the old behaviour.
+    version: str = "1"
+
     @abstractmethod
     def file_name(self, key: K) -> str:
         """Name of the input file for ``key`` in the file store.
@@ -130,6 +137,22 @@ class Application(ABC, Generic[K, R]):
         the runtime size slots from the first loaded item.
         """
         return None
+
+    def fingerprint(self) -> str:
+        """Identity of this application for the persistent store.
+
+        Combines the class, :attr:`version`, and every scalar instance
+        attribute (so ``BioinformaticsApplication(k=3)`` and ``k=4`` never
+        share cached payloads or memoized results).  Applications whose
+        behaviour depends on non-scalar state should override this to
+        include it.
+        """
+        parts = [type(self).__module__, type(self).__qualname__, f"v{self.version}"]
+        for name in sorted(vars(self)):
+            value = vars(self)[name]
+            if isinstance(value, (str, int, float, bool, type(None))):
+                parts.append(f"{name}={value!r}")
+        return "|".join(parts)
 
     def validate_keys(self, keys: list) -> None:
         """Sanity-check the key list before a run (duplicates, emptiness)."""

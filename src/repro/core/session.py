@@ -296,6 +296,17 @@ class RunHandle:
             self._cond.notify_all()
 
 
+def _maybe_memoize(session, backend):
+    """Wrap a backend session with the persistent memo store if enabled.
+
+    Import deferred: :mod:`repro.store.integration` imports this module
+    for :class:`RunHandle`.
+    """
+    from repro.store.integration import maybe_wrap_store
+
+    return maybe_wrap_store(session, backend)
+
+
 class RocketSession:
     """A long-lived Rocket runtime accepting many workload submissions.
 
@@ -326,8 +337,9 @@ class RocketSession:
             config if config is not None else RocketConfig(),
             **backend_options,
         )
-        self._session = self._backend.open_session(
-            policy=policy, max_active=max_active
+        self._session = _maybe_memoize(
+            self._backend.open_session(policy=policy, max_active=max_active),
+            self._backend,
         )
 
     @classmethod
@@ -335,7 +347,9 @@ class RocketSession:
         """Build a session around an existing backend instance."""
         self = cls.__new__(cls)
         self._backend = backend
-        self._session = backend.open_session(policy=policy, max_active=max_active)
+        self._session = _maybe_memoize(
+            backend.open_session(policy=policy, max_active=max_active), backend
+        )
         return self
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ import threading
 import time
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 __all__ = ["FileStore", "InMemoryStore", "DirectoryStore", "ThrottledStore"]
 
@@ -43,6 +43,17 @@ class FileStore(ABC):
         """True when blob ``name`` is present."""
         return name in self.names()
 
+    def stat(self, name: str) -> Tuple[int, float]:
+        """``(size_bytes, mtime)`` of blob ``name`` (KeyError if absent).
+
+        A ``mtime`` of ``0.0`` means the store cannot report modification
+        times; callers using stat for change detection (the persistent
+        store's hash cache, its GC) must treat such entries as always
+        potentially modified.  Stores backed by real files or tracked
+        writes override this with honest timestamps.
+        """
+        return len(self.read(name)), 0.0
+
     def total_bytes(self) -> int:
         """Sum of all blob sizes."""
         return sum(len(self.read(n)) for n in self.names())
@@ -53,6 +64,7 @@ class InMemoryStore(FileStore):
 
     def __init__(self) -> None:
         self._blobs: Dict[str, bytes] = {}
+        self._mtimes: Dict[str, float] = {}
         self._lock = threading.Lock()
 
     def read(self, name: str) -> bytes:
@@ -64,9 +76,13 @@ class InMemoryStore(FileStore):
 
     def write(self, name: str, data: bytes) -> None:
         if not isinstance(data, (bytes, bytearray)):
-            raise TypeError(f"store contents must be bytes, got {type(data).__name__}")
+            raise TypeError(
+                f"store contents for {name!r} must be bytes, "
+                f"got {type(data).__name__}"
+            )
         with self._lock:
             self._blobs[name] = bytes(data)
+            self._mtimes[name] = time.time()
 
     def names(self) -> List[str]:
         with self._lock:
@@ -75,6 +91,13 @@ class InMemoryStore(FileStore):
     def exists(self, name: str) -> bool:
         with self._lock:
             return name in self._blobs
+
+    def stat(self, name: str) -> Tuple[int, float]:
+        with self._lock:
+            try:
+                return len(self._blobs[name]), self._mtimes[name]
+            except KeyError:
+                raise KeyError(f"no such file {name!r} in store") from None
 
 
 class DirectoryStore(FileStore):
@@ -99,6 +122,11 @@ class DirectoryStore(FileStore):
         return path.read_bytes()
 
     def write(self, name: str, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError(
+                f"store contents for {name!r} must be bytes, "
+                f"got {type(data).__name__}"
+            )
         self._path(name).write_bytes(data)
 
     def names(self) -> List[str]:
@@ -106,6 +134,14 @@ class DirectoryStore(FileStore):
 
     def exists(self, name: str) -> bool:
         return self._path(name).is_file()
+
+    def stat(self, name: str) -> Tuple[int, float]:
+        path = self._path(name)
+        try:
+            st = path.stat()
+        except FileNotFoundError:
+            raise KeyError(f"no such file {name!r} in {self.root}") from None
+        return st.st_size, st.st_mtime
 
 
 class ThrottledStore(FileStore):
@@ -153,3 +189,7 @@ class ThrottledStore(FileStore):
 
     def exists(self, name: str) -> bool:
         return self.inner.exists(name)
+
+    def stat(self, name: str) -> Tuple[int, float]:
+        # Metadata reads are free: only payload bytes pay for bandwidth.
+        return self.inner.stat(name)

@@ -202,7 +202,9 @@ class RocketBackend(ABC):
                 stacklevel=3,
             )
         workload = as_workload(keys, pair_filter)
-        session = self._one_shot_session(workload)
+        from repro.store.integration import maybe_wrap_store  # lazy: avoids cycle
+
+        session = maybe_wrap_store(self._one_shot_session(workload), self)
         try:
             handle = session.submit(workload)
             result = handle.result()
@@ -274,7 +276,7 @@ def _coerce_steal_policy(value):
         ) from None
 
 
-def _apply_scheduling_options(config, device_speeds, steal_policy):
+def _apply_scheduling_options(config, device_speeds, steal_policy, store_dir=None):
     """Fold the Rocket-level scheduling shorthands into a RocketConfig."""
     import dataclasses
 
@@ -283,6 +285,8 @@ def _apply_scheduling_options(config, device_speeds, steal_policy):
         overrides["device_speed_factors"] = tuple(float(s) for s in device_speeds)
     if steal_policy is not None:
         overrides["steal_policy"] = _coerce_steal_policy(steal_policy)
+    if store_dir is not None:
+        overrides["store_dir"] = str(store_dir)
     return dataclasses.replace(config, **overrides) if overrides else config
 
 
@@ -291,10 +295,12 @@ def _local_factory(app, store, config=None, **options) -> RocketBackend:
 
     device_speeds = options.pop("device_speeds", None)
     steal_policy = options.pop("steal_policy", None)
+    store_dir = options.pop("store_dir", None)
     if options:
         raise TypeError(f"unknown local backend options {sorted(options)}")
     config = _apply_scheduling_options(
-        config if config is not None else RocketConfig(), device_speeds, steal_policy
+        config if config is not None else RocketConfig(),
+        device_speeds, steal_policy, store_dir,
     )
     return LocalRocketRuntime(app, store, config)
 
@@ -314,6 +320,7 @@ def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
     steal_policy = options.pop("steal_policy", None)
     elastic = options.pop("elastic", None)
     max_nodes = options.pop("max_nodes", None)
+    store_dir = options.pop("store_dir", None)
     if options:
         raise TypeError(f"unknown cluster backend options {sorted(options)}")
     if cluster is None:
@@ -323,7 +330,8 @@ def _cluster_factory(app, store, config=None, **options) -> RocketBackend:
             f"conflicting node counts: n_nodes={n_nodes} vs cluster.n_nodes={cluster.n_nodes}"
         )
     config = _apply_scheduling_options(
-        config if config is not None else RocketConfig(), device_speeds, steal_policy
+        config if config is not None else RocketConfig(),
+        device_speeds, steal_policy, store_dir,
     )
     # Data-plane / heterogeneity shorthands: ``Rocket(..., transport="shm",
     # node_speeds=((1.0,), (0.25,)))`` overrides the (or a default)

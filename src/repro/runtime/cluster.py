@@ -2223,6 +2223,11 @@ class ClusterSession(BackendSession):
                 m.inc(f"cache.{level}.hits", counters.hits + counters.hits_while_writing)
                 m.inc(f"cache.{level}.misses", counters.misses)
                 m.inc(f"cache.{level}.evictions", counters.evictions)
+            m.inc("cache.persistent.hits", ns.persist_hits)
+            m.inc("cache.persistent.misses", ns.persist_misses)
+            m.inc("cache.persistent.stores", ns.persist_stores)
+            m.inc("cache.persistent.bytes_read", ns.persist_bytes_read)
+            m.inc("cache.persistent.bytes_written", ns.persist_bytes_written)
             local_steals += ns.local_steals
         m.inc("steal.local", local_steals)
         m.inc("steal.remote_grants", stats.remote_steals)

@@ -73,6 +73,13 @@ class RocketConfig:
     seed: int = 0
     #: Hard wall-clock limit: a wedged run raises instead of hanging.
     watchdog_seconds: float = 600.0
+    #: Directory of the persistent cross-session store (``repro.store``):
+    #: preprocessed payloads persist behind the host cache and computed
+    #: pair results are memoized across sessions.  ``None`` disables
+    #: both planes.  Shared by every process of a run (the frozen config
+    #: ships to cluster node processes) and safe to share between a
+    #: daemon and concurrent one-shot CLIs.
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_devices < 1:
@@ -155,6 +162,12 @@ class RunStats:
     #: Eq. 5 system efficiency against the calibrated lower bound.
     model_efficiency: float = 0.0
     trace: Optional[TraceRecorder] = None
+    #: Persistent item-cache traffic (zero without a ``store_dir``).
+    persist_hits: int = 0
+    persist_misses: int = 0
+    persist_stores: int = 0
+    persist_bytes_read: int = 0
+    persist_bytes_written: int = 0
 
     def summary(self) -> str:
         """Short human-readable digest."""
@@ -577,6 +590,11 @@ class LocalSession(BackendSession):
             predicted_runtime=model.predicted_runtime(max(1.0, reuse)),
             model_efficiency=model.efficiency(runtime) if runtime > 0 else 0.0,
             trace=pipeline.trace if cfg.profiling else None,
+            persist_hits=ns.persist_hits,
+            persist_misses=ns.persist_misses,
+            persist_stores=ns.persist_stores,
+            persist_bytes_read=ns.persist_bytes_read,
+            persist_bytes_written=ns.persist_bytes_written,
         )
         self._absorb_stats(stats)
         self._log.info("job done", job_id=job_id)
@@ -600,6 +618,11 @@ class LocalSession(BackendSession):
             m.inc(f"cache.{level}.hits", counters.hits + counters.hits_while_writing)
             m.inc(f"cache.{level}.misses", counters.misses)
             m.inc(f"cache.{level}.evictions", counters.evictions)
+        m.inc("cache.persistent.hits", stats.persist_hits)
+        m.inc("cache.persistent.misses", stats.persist_misses)
+        m.inc("cache.persistent.stores", stats.persist_stores)
+        m.inc("cache.persistent.bytes_read", stats.persist_bytes_read)
+        m.inc("cache.persistent.bytes_written", stats.persist_bytes_written)
         m.inc("steal.local", stats.local_steals)
 
     # -- observability ---------------------------------------------------

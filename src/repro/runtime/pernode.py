@@ -111,6 +111,14 @@ class NodeStats:
     #: The node-local trace buffer for this run (empty unless the run
     #: was profiled); rides to the coordinator in the ``stats`` message.
     trace_events: List[TraceEvent] = field(default_factory=list)
+    #: Persistent item-cache traffic (zero unless the run's config has a
+    #: ``store_dir``): hits skip the whole load pipeline, stores are
+    #: freshly loaded payloads written back for future sessions.
+    persist_hits: int = 0
+    persist_misses: int = 0
+    persist_stores: int = 0
+    persist_bytes_read: int = 0
+    persist_bytes_written: int = 0
 
 
 class _DeviceState:
@@ -205,7 +213,35 @@ class NodeEngine:
         #: re-calibrating from scratch.
         self.calibration = StageCalibration()
         self.calibration_lock = threading.Lock()
+        #: Lazily created persistent item cache (``config.store_dir``);
+        #: engine-owned so it spans jobs like the in-memory cache levels.
+        self._persist = None
+        self._persist_failed = False
+        self._persist_lock = threading.Lock()
         self._closed = False
+
+    def persistent_cache(self, app, store):
+        """The shared :class:`~repro.store.itemcache.PersistentItemCache`.
+
+        ``None`` when the config has no ``store_dir`` or the store
+        directory is unusable (the pipeline then simply runs cold — the
+        persistent level is an accelerator, never a dependency).  Bound
+        to the first ``(app, store)`` pair seen: an engine executes one
+        application, like its key-addressed slot caches.
+        """
+        if not getattr(self.config, "store_dir", None):
+            return None
+        with self._persist_lock:
+            if self._persist is None and not self._persist_failed:
+                try:
+                    from repro.store.itemcache import PersistentItemCache
+
+                    self._persist = PersistentItemCache(
+                        self.config.store_dir, app, store
+                    )
+                except Exception:
+                    self._persist_failed = True
+            return self._persist
 
     def snapshot(self) -> Dict[str, Any]:
         """Cumulative counter baseline, so a pipeline can report deltas."""
@@ -241,6 +277,10 @@ class NodeEngine:
         self.job_pool.shutdown(wait=False)
         for st in self.states:
             st.device.shutdown()
+        with self._persist_lock:
+            if self._persist is not None:
+                self._persist.close()  # flush the content-hash cache
+                self._persist = None
 
     @property
     def closed(self) -> bool:
@@ -317,6 +357,9 @@ class NodePipeline:
                 rngs=rngs, capacity_hint=n,
             )
         self.engine = engine
+        #: Persistent (disk) cache level; None unless cfg.store_dir is
+        #: set — see NodeEngine.persistent_cache for the guarantees.
+        self._persist = engine.persistent_cache(app, store)
         self.states = engine.states
         self.host_cache = engine.host_cache
         self.host_cond = engine.host_cond
@@ -357,6 +400,11 @@ class NodePipeline:
             "local_steals": 0,
             "submitted": 0,
             "completed": 0,
+            "persist_hits": 0,
+            "persist_misses": 0,
+            "persist_stores": 0,
+            "persist_bytes_read": 0,
+            "persist_bytes_written": 0,
             # Device-cache pins this job currently holds.  Pins are
             # job-tagged via the owning pipeline so that cancelling one
             # job verifiably releases *its* pins while co-running jobs'
@@ -537,6 +585,11 @@ class NodePipeline:
             pid=os.getpid(),
             trace_origin=self.trace.origin,
             trace_events=self.trace.events if self.trace.enabled else [],
+            persist_hits=counters["persist_hits"],
+            persist_misses=counters["persist_misses"],
+            persist_stores=counters["persist_stores"],
+            persist_bytes_read=counters["persist_bytes_read"],
+            persist_bytes_written=counters["persist_bytes_written"],
         )
 
     # -- services for the cluster comm layer -----------------------------
@@ -727,7 +780,40 @@ class NodePipeline:
 
         assert host_wslot is not None
 
-        # Host miss: consult the third (distributed) cache level first.
+        # Host miss: the persistent disk level comes before any peer
+        # round-trip — it is node-local and serves the preprocessed
+        # payload as an mmap, skipping io/parse/preprocess entirely.
+        if self._persist is not None:
+            tracing = self.trace.enabled
+            t0 = self._now() if tracing else 0.0
+            try:
+                persist_payload = self._persist.load(key)
+            except Exception:
+                persist_payload = None  # the store is never load-bearing
+            if persist_payload is not None:
+                if tracing:
+                    self.trace.record("IO", "persist", t0, self._now(), self.job_id)
+                with self.counters_lock:
+                    self.counters["persist_hits"] += 1
+                    self.counters["persist_bytes_read"] += int(persist_payload.nbytes)
+                try:
+                    dev_buf = st.device.h2d(persist_payload)
+                except BaseException:
+                    with self.host_cond:
+                        self.host_cache.abandon(host_wslot)
+                        self.host_cond.notify_all()
+                    raise
+                with st.cond:
+                    st.cache.publish(wslot, payload=dev_buf, initial_readers=1)
+                    st.cond.notify_all()
+                with self.host_cond:
+                    self.host_cache.publish(host_wslot, payload=persist_payload)
+                    self.host_cond.notify_all()
+                return
+            with self.counters_lock:
+                self.counters["persist_misses"] += 1
+
+        # Still cold locally: consult the distributed cache level.
         if self.remote_fetch is not None:
             try:
                 remote_payload = self.remote_fetch(idx)
@@ -805,6 +891,19 @@ class NodePipeline:
         with self.host_cond:
             self.host_cache.publish(host_wslot, payload=host_payload)
             self.host_cond.notify_all()
+
+        # Write the freshly loaded item back to the persistent level so
+        # the next session warm-starts.  A remote-fetch hit deliberately
+        # skips this: the originating node already wrote it back.
+        if self._persist is not None:
+            try:
+                written = self._persist.store(key, host_payload, blob=blob)
+            except Exception:
+                written = 0
+            if written:
+                with self.counters_lock:
+                    self.counters["persist_stores"] += 1
+                    self.counters["persist_bytes_written"] += written
 
     # -- job execution ---------------------------------------------------
 

@@ -371,6 +371,12 @@ class RocketServer:
             record = self._registry.register(tenant.name, handle)
         self._metrics.inc("serve.jobs.submitted")
         self._metrics.inc(f"serve.tenants.{tenant.name}.submitted")
+        # Pairs served straight from the persistent memo store (zero when
+        # the session has no store): tenants see whose corpora re-use pays.
+        memo_hits = int(getattr(handle, "memo_hits", 0))
+        if memo_hits:
+            self._metrics.inc("serve.store_hits", memo_hits)
+            self._metrics.inc(f"serve.tenants.{tenant.name}.store_hits", memo_hits)
         self._log.info(
             "job %s submitted by %s (%s, w=%g)",
             record.job_id, tenant.name, workload.describe(), priority * tenant.weight,

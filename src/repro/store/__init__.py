@@ -1,0 +1,46 @@
+"""Persistent cross-session store: item cache + result memoization.
+
+The paper's cache hierarchy (device → host → distributed peers) dies
+with the session.  ``repro.store`` adds the two planes that survive it,
+sharing one ``store_dir`` (enable with ``RocketConfig(store_dir=...)``,
+``Rocket.run``'s ``--store-dir`` CLI flag, or the serve daemon's
+``--store-dir``):
+
+- :class:`~repro.store.itemcache.PersistentItemCache` — the disk level
+  behind the host cache: content-addressed preprocessed payloads,
+  mmap-loaded on warm start so stored items skip io/parse/preprocess;
+- :class:`~repro.store.memo.ResultMemoStore` — an append-merge journal
+  of computed pair results consulted at submit time by
+  :class:`~repro.store.integration.StoreSession`, so a repeated job
+  over an unchanged corpus recomputes zero pairs;
+- :class:`~repro.store.manager.RocketStore` — the directory façade:
+  stats and size-budgeted GC (``python -m repro store stats|gc``).
+
+Both planes invalidate through item content hashes plus the
+application's :meth:`~repro.core.api.Application.fingerprint`: edit an
+item and exactly its rows recompute; bump ``Application.version`` and
+everything does.
+"""
+
+from repro.store.hashing import ItemHasher, hash_bytes
+from repro.store.integration import (
+    PairSubsetFilter,
+    ResidualPairs,
+    StoreSession,
+    maybe_wrap_store,
+)
+from repro.store.itemcache import PersistentItemCache
+from repro.store.manager import RocketStore
+from repro.store.memo import ResultMemoStore
+
+__all__ = [
+    "ItemHasher",
+    "PairSubsetFilter",
+    "PersistentItemCache",
+    "ResidualPairs",
+    "ResultMemoStore",
+    "RocketStore",
+    "StoreSession",
+    "hash_bytes",
+    "maybe_wrap_store",
+]

@@ -1,0 +1,493 @@
+"""Tests for the persistent cross-session store (:mod:`repro.store`).
+
+Four layers:
+
+- component units: content hashing with the stat-validated cache,
+  the item payload cache (round trip, invalidation, corrupt-file
+  recovery), the memo journal (merge across writers, unordered-pair
+  canonicalization, hash-keyed invalidation, truncated/garbage
+  segment tolerance) and :meth:`Application.fingerprint`;
+- warm-start acceptance on **both** backends: a repeated identical
+  run against an unchanged corpus recomputes zero pairs, skips the
+  backend entirely, and is value-identical to the cold run;
+- incremental invalidation: editing one item's bytes between two
+  sessions recomputes exactly that item's pairs (verified through
+  both the memo counters and a compare-counting application), and a
+  corrupted store never crashes or corrupts results — it just runs
+  cold;
+- surfaces: store counters in ``session.metrics()`` and the serve
+  daemon's ``metrics`` verb, per-tenant ``store_hits`` accounting,
+  directory ``stats``/``gc`` and the ``repro store`` CLI.
+"""
+
+import glob
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.rocket import Rocket
+from repro.core.session import RocketSession
+from repro.core.workload import AllPairs, DeltaPairs
+from repro.runtime.localrocket import RocketConfig
+from repro.store import (
+    ItemHasher,
+    PersistentItemCache,
+    ResultMemoStore,
+    RocketStore,
+    hash_bytes,
+)
+from repro.store.memo import canonical_pair
+
+from tests.test_cluster_runtime import SumApp, make_store
+from tests.test_multijob import make_backend
+
+
+def warm_config(store_dir, **overrides):
+    cfg = dict(n_devices=2, leaf_size=2, seed=7, store_dir=str(store_dir))
+    cfg.update(overrides)
+    return RocketConfig(**cfg)
+
+
+def result_dict(matrix):
+    return {(a, b): v for a, b, v in matrix.items()}
+
+
+class CountingApp(SumApp):
+    """SumApp that counts compare() invocations (local backend: threads).
+
+    The counter lives in a dict on purpose: ``fingerprint()`` folds in
+    scalar instance attributes, and the count must not shift the app's
+    store identity between sessions.
+    """
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.counts = {"compared": 0}
+
+    @property
+    def compared(self):
+        return self.counts["compared"]
+
+    def compare(self, key_a, a, key_b, b):
+        with self.lock:
+            self.counts["compared"] += 1
+        return super().compare(key_a, a, key_b, b)
+
+
+# ----------------------------------------------------------------------
+# Content hashing
+
+
+class TestItemHasher:
+    def test_digest_matches_hash_bytes(self, tmp_path):
+        store, keys = make_store(3)
+        app = SumApp()
+        hasher = ItemHasher(tmp_path, store)
+        name = app.file_name(keys[0])
+        assert hasher.digest(name) == hash_bytes(store.read(name))
+
+    def test_cache_survives_save_and_reload(self, tmp_path):
+        store, keys = make_store(3)
+        hasher = ItemHasher(tmp_path, store)
+        names = [SumApp().file_name(k) for k in keys]
+        digests = {n: hasher.digest(n) for n in names}
+        hasher.save()
+        again = ItemHasher(tmp_path, store)
+        assert {n: again.digest(n) for n in names} == digests
+
+    def test_missing_blob_raises_keyerror(self, tmp_path):
+        store, _ = make_store(2)
+        with pytest.raises(KeyError):
+            ItemHasher(tmp_path, store).digest("no-such-item.bin")
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        (tmp_path / "hashes.json").write_text("{ not json")
+        store, keys = make_store(2)
+        hasher = ItemHasher(tmp_path, store)
+        name = SumApp().file_name(keys[0])
+        assert hasher.digest(name) == hash_bytes(store.read(name))
+
+    def test_edit_changes_digest(self, tmp_path):
+        store, keys = make_store(2)
+        hasher = ItemHasher(tmp_path, store)
+        name = SumApp().file_name(keys[0])
+        before = hasher.digest(name)
+        data = np.frombuffer(store.read(name), dtype=np.float64) * 2.0
+        store.write(name, data.tobytes())
+        assert hasher.digest(name) != before
+
+
+# ----------------------------------------------------------------------
+# Persistent item cache
+
+
+class TestPersistentItemCache:
+    def test_round_trip(self, tmp_path):
+        store, keys = make_store(2)
+        cache = PersistentItemCache(tmp_path, SumApp(), store)
+        payload = np.arange(8, dtype=np.float64)
+        assert cache.store(keys[0], payload) > 0
+        loaded = cache.load(keys[0])
+        np.testing.assert_array_equal(np.asarray(loaded), payload)
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        store, keys = make_store(2)
+        cache = PersistentItemCache(tmp_path, SumApp(), store)
+        assert cache.load(keys[1]) is None
+
+    def test_content_edit_invalidates(self, tmp_path):
+        store, keys = make_store(2)
+        app = SumApp()
+        cache = PersistentItemCache(tmp_path, app, store)
+        cache.store(keys[0], np.arange(4, dtype=np.float64))
+        name = app.file_name(keys[0])
+        edited = np.frombuffer(store.read(name), dtype=np.float64) * 5.0
+        store.write(name, edited.tobytes())
+        assert PersistentItemCache(tmp_path, app, store).load(keys[0]) is None
+
+    def test_app_fingerprint_partitions_entries(self, tmp_path):
+        store, keys = make_store(2)
+
+        class V2App(SumApp):
+            version = "2"
+
+        cache = PersistentItemCache(tmp_path, SumApp(), store)
+        cache.store(keys[0], np.arange(4, dtype=np.float64))
+        assert PersistentItemCache(tmp_path, V2App(), store).load(keys[0]) is None
+
+    def test_corrupt_payload_file_is_a_miss(self, tmp_path):
+        store, keys = make_store(2)
+        cache = PersistentItemCache(tmp_path, SumApp(), store)
+        cache.store(keys[0], np.arange(4, dtype=np.float64))
+        (path,) = glob.glob(str(tmp_path / "items" / "*.npy"))
+        with open(path, "wb") as fh:
+            fh.write(b"\x93NUMPY garbage")
+        assert cache.load(keys[0]) is None
+        assert not os.path.exists(path), "corrupt payload should be unlinked"
+
+
+# ----------------------------------------------------------------------
+# Result memo journal
+
+
+class TestResultMemoStore:
+    def test_append_refresh_lookup(self, tmp_path):
+        memo = ResultMemoStore(tmp_path)
+        assert memo.append("fp", "a", "b", "ha", "hb", 1.5)
+        other = ResultMemoStore(tmp_path)
+        other.refresh()
+        assert other.lookup("fp", "a", "b", "ha", "hb") == (True, 1.5)
+        memo.close()
+
+    def test_pairs_are_unordered(self, tmp_path):
+        memo = ResultMemoStore(tmp_path)
+        memo.append("fp", "b", "a", "hb", "ha", 2.0)
+        assert memo.lookup("fp", "a", "b", "ha", "hb") == (True, 2.0)
+        assert canonical_pair("b", "a") == canonical_pair("a", "b")
+        memo.close()
+
+    def test_hash_mismatch_misses(self, tmp_path):
+        memo = ResultMemoStore(tmp_path)
+        memo.append("fp", "a", "b", "ha", "hb", 2.0)
+        assert memo.lookup("fp", "a", "b", "EDITED", "hb") == (False, None)
+        assert memo.lookup("other-fp", "a", "b", "ha", "hb") == (False, None)
+        memo.close()
+
+    def test_merges_segments_from_two_writers(self, tmp_path):
+        w1, w2 = ResultMemoStore(tmp_path), ResultMemoStore(tmp_path)
+        w1.append("fp", "a", "b", "ha", "hb", 1.0)
+        w2.append("fp", "c", "d", "hc", "hd", 2.0)
+        w1.close()
+        w2.close()
+        reader = ResultMemoStore(tmp_path)
+        reader.refresh()
+        assert reader.lookup("fp", "a", "b", "ha", "hb") == (True, 1.0)
+        assert reader.lookup("fp", "c", "d", "hc", "hd") == (True, 2.0)
+        assert reader.record_count() == 2
+
+    def test_truncated_tail_keeps_earlier_records(self, tmp_path):
+        memo = ResultMemoStore(tmp_path)
+        memo.append("fp", "a", "b", "ha", "hb", 1.0)
+        memo.append("fp", "c", "d", "hc", "hd", 2.0)
+        memo.close()
+        (seg,) = glob.glob(str(tmp_path / "memo" / "*.log"))
+        with open(seg, "r+b") as fh:
+            fh.truncate(os.path.getsize(seg) - 3)
+        reader = ResultMemoStore(tmp_path)
+        reader.refresh()
+        assert reader.lookup("fp", "a", "b", "ha", "hb") == (True, 1.0)
+        assert reader.lookup("fp", "c", "d", "hc", "hd") == (False, None)
+
+    def test_garbage_segment_is_dropped_not_fatal(self, tmp_path):
+        (tmp_path / "memo").mkdir()
+        (tmp_path / "memo" / "seg-999999-dead.log").write_bytes(b"not a journal")
+        reader = ResultMemoStore(tmp_path)
+        reader.refresh()
+        assert reader.record_count() == 0
+        assert reader.dropped_segments >= 1
+
+
+class TestFingerprint:
+    def test_version_and_params_distinguish(self):
+        class V2App(SumApp):
+            version = "2"
+
+        class ParamApp(SumApp):
+            def __init__(self, k):
+                self.k = k
+
+        assert SumApp().fingerprint() != V2App().fingerprint()
+        assert ParamApp(3).fingerprint() != ParamApp(4).fingerprint()
+        assert ParamApp(3).fingerprint() == ParamApp(3).fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Warm-start acceptance (both backends)
+
+
+class TestWarmStart:
+    @pytest.mark.parametrize("backend", ["local", "cluster"])
+    def test_repeat_run_recomputes_zero_pairs(self, backend, tmp_path):
+        store, keys = make_store(6)
+        cold = RocketSession._wrap(
+            make_backend(backend, store, store_dir=str(tmp_path))
+        )
+        try:
+            cold_results = result_dict(cold.submit(AllPairs(keys)).result())
+        finally:
+            cold.close()
+
+        store2, keys2 = make_store(6)
+        warm = RocketSession._wrap(
+            make_backend(backend, store2, store_dir=str(tmp_path))
+        )
+        try:
+            warm_results = result_dict(warm.submit(AllPairs(keys2)).result())
+            snap = warm.metrics()
+        finally:
+            warm.close()
+
+        memo = snap["store"]["memo"]
+        assert memo["hits"] == 15 and memo["misses"] == 0
+        assert memo["jobs_short_circuited"] == 1
+        # The backend never saw a job, let alone a pair.
+        assert snap.get("jobs", {}).get("completed", 0) == 0
+        assert warm_results == cold_results
+
+    @pytest.mark.parametrize("backend", ["local", "cluster"])
+    def test_warm_item_cache_skips_load_pipeline(self, backend, tmp_path):
+        store, keys = make_store(6)
+        runtime = make_backend(backend, store, store_dir=str(tmp_path))
+        cold_session = RocketSession._wrap(runtime)
+        try:
+            cold = result_dict(cold_session.submit(AllPairs(keys)).result())
+        finally:
+            cold_session.close()
+        # Wipe the memo plane: pairs must recompute, items must not reload.
+        for seg in glob.glob(str(tmp_path / "memo" / "*.log")):
+            os.unlink(seg)
+        store2, keys2 = make_store(6)
+        runtime = make_backend(backend, store2, store_dir=str(tmp_path))
+        session = RocketSession._wrap(runtime)
+        try:
+            warm = result_dict(session.submit(AllPairs(keys2)).result())
+            snap = session.metrics()
+        finally:
+            session.close()
+        assert warm == cold
+        persistent = snap["cache"]["persistent"]
+        # Every node fills its caches from disk (the cluster's nodes
+        # each consult the shared store, so hits can exceed the item
+        # count); no item ever goes through io/parse/preprocess.
+        assert persistent["hits"] >= 6
+        assert persistent["bytes_read"] > 0
+        assert snap["pipeline"]["loads"] == 0
+
+    def test_delta_workload_reuses_all_pairs_memo(self, tmp_path):
+        """Memo entries are keyed on pairs, not on the workload shape."""
+        store, keys = make_store(6)
+        full = result_dict(
+            Rocket(SumApp(), store, warm_config(tmp_path)).run(keys)
+        )
+        store2, keys2 = make_store(6)
+        session = RocketSession._wrap(
+            make_backend("local", store2, store_dir=str(tmp_path))
+        )
+        try:
+            delta = DeltaPairs(keys2[:-2], keys2[-2:])
+            results = result_dict(session.submit(delta).result())
+            memo = session.metrics()["store"]["memo"]
+        finally:
+            session.close()
+        assert memo["misses"] == 0 and memo["hits"] == len(results)
+        assert all(full[pair] == value for pair, value in results.items())
+
+
+# ----------------------------------------------------------------------
+# Incremental invalidation + corruption recovery
+
+
+class TestInvalidation:
+    def test_editing_one_item_recomputes_only_its_pairs(self, tmp_path):
+        n = 6
+        store, keys = make_store(n)
+        app = CountingApp()
+        cold = result_dict(Rocket(app, store, warm_config(tmp_path)).run(keys))
+
+        # Session 2: item 2's bytes change on disk between sessions.
+        store2, keys2 = make_store(n)
+        edited = keys2[2]
+        name = app.file_name(edited)
+        data = np.frombuffer(store2.read(name), dtype=np.float64) * 3.0
+        store2.write(name, data.tobytes())
+
+        counting = CountingApp()
+        session = RocketSession._wrap(
+            make_backend("local", store2, app=counting, store_dir=str(tmp_path))
+        )
+        try:
+            warm = result_dict(session.submit(AllPairs(keys2)).result())
+            memo = session.metrics()["store"]["memo"]
+        finally:
+            session.close()
+
+        # Pair-level recompute accounting: exactly the edited item's row.
+        assert counting.compared == n - 1
+        assert memo["misses"] == n - 1
+        assert memo["hits"] == (n * (n - 1)) // 2 - (n - 1)
+        for (a, b), value in warm.items():
+            if edited in (a, b):
+                assert value != cold[(a, b)]
+            else:
+                assert value == cold[(a, b)]
+
+    def test_corrupt_store_runs_cold_with_correct_results(self, tmp_path):
+        store, keys = make_store(5)
+        cold = result_dict(
+            Rocket(CountingApp(), store, warm_config(tmp_path)).run(keys)
+        )
+
+        # Vandalise both planes: garbage journal, truncated journal,
+        # garbage payload, garbage hash cache.
+        for seg in glob.glob(str(tmp_path / "memo" / "*.log")):
+            with open(seg, "r+b") as fh:
+                fh.truncate(max(0, os.path.getsize(seg) - 7))
+        (tmp_path / "memo" / "seg-000001-feed.log").write_bytes(b"\xff" * 64)
+        payloads = sorted(glob.glob(str(tmp_path / "items" / "*.npy")))
+        with open(payloads[0], "wb") as fh:
+            fh.write(b"junk")
+        (tmp_path / "hashes.json").write_text("]")
+
+        store2, keys2 = make_store(5)
+        counting = CountingApp()
+        session = RocketSession._wrap(
+            make_backend("local", store2, app=counting, store_dir=str(tmp_path))
+        )
+        try:
+            warm = result_dict(session.submit(AllPairs(keys2)).result())
+        finally:
+            session.close()
+        assert warm == cold
+        assert counting.compared >= 1  # ran (partially) cold, not wrong
+
+
+# ----------------------------------------------------------------------
+# Surfaces: metrics, serve, stats/gc, CLI
+
+
+class TestSurfaces:
+    def test_session_metrics_expose_store_counters(self, tmp_path):
+        store, keys = make_store(4)
+        session = RocketSession._wrap(
+            make_backend("local", store, store_dir=str(tmp_path))
+        )
+        try:
+            session.submit(AllPairs(keys)).result()
+            snap = session.metrics()
+        finally:
+            session.close()
+        memo = snap["store"]["memo"]
+        assert memo["appended"] == 6 and memo["records"] == 6
+        assert snap["store"]["hashes_cached"] == 4
+        assert snap["cache"]["persistent"]["stores"] == 4
+
+    def test_store_absent_without_store_dir(self):
+        store, keys = make_store(4)
+        session = RocketSession._wrap(make_backend("local", store))
+        try:
+            session.submit(AllPairs(keys)).result()
+            assert "store" not in session.metrics()
+        finally:
+            session.close()
+
+    def test_serve_daemon_accounts_tenant_store_hits(self, tmp_path):
+        from repro.serve import RocketServer, connect
+
+        store, keys = make_store(5)
+        runtime = make_backend("local", store, store_dir=str(tmp_path))
+        session = RocketSession._wrap(runtime, policy="fair")
+        server = RocketServer(session, keys).start()
+        try:
+            with connect(server.address) as client:
+                first = result_dict(client.run(keys))
+                second = result_dict(client.run(keys))
+                snapshot = client.metrics()
+        finally:
+            server.close()
+        assert first == second
+        serve = snapshot["serve"]["serve"]
+        assert serve["store_hits"] == 10
+        assert serve["tenants"]["default"]["store_hits"] == 10
+        assert snapshot["session"]["store"]["memo"]["hits"] == 10
+
+    def test_stats_and_gc(self, tmp_path):
+        store, keys = make_store(6)
+        Rocket(SumApp(), store, warm_config(tmp_path)).run(keys)
+        rocket_store = RocketStore(tmp_path)
+        stats = rocket_store.stats()
+        assert stats["items"]["count"] == 6
+        assert stats["memo"]["records"] == 15
+        assert stats["total_bytes"] > 0
+
+        report = rocket_store.gc(max_bytes=stats["total_bytes"])
+        assert report == {"deleted_items": 0, "deleted_segments": 0, "freed_bytes": 0}
+
+        report = rocket_store.gc(max_bytes=0)
+        assert report["deleted_items"] == 6
+        assert report["freed_bytes"] > 0
+        assert not glob.glob(str(tmp_path / "items" / "*.npy"))
+        rocket_store.close()
+
+    def test_gc_spares_live_segments(self, tmp_path):
+        memo = ResultMemoStore(tmp_path)
+        memo.append("fp", "a", "b", "ha", "hb", 1.0)  # writer lock held
+        dead = ResultMemoStore(tmp_path)
+        dead.append("fp", "c", "d", "hc", "hd", 2.0)
+        dead.close()
+        try:
+            report = RocketStore(tmp_path).gc(max_bytes=0)
+            assert report["deleted_segments"] == 1
+            survivors = glob.glob(str(tmp_path / "memo" / "*.log"))
+            assert len(survivors) == 1
+        finally:
+            memo.close()
+
+    def test_cli_store_stats_and_gc(self, tmp_path, capsys):
+        store, keys = make_store(4)
+        Rocket(SumApp(), store, warm_config(tmp_path)).run(keys)
+        assert main(["store", "stats", "--store-dir", str(tmp_path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["items"]["count"] == 4 and stats["memo"]["records"] == 6
+        assert (
+            main(
+                ["store", "gc", "--store-dir", str(tmp_path),
+                 "--max-bytes", "0", "--json"]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["deleted_items"] == 4
